@@ -1,0 +1,82 @@
+// Command lcs runs the longest-common-subsequence benchmark (§V-D): the
+// future-based recursive wavefront of Fig. 11. With -verify the leaves
+// execute the real block DP and the result is checked against a serial
+// O(n²) computation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"contsteal/internal/core"
+	"contsteal/internal/experiments"
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+	"contsteal/internal/workload"
+)
+
+func main() {
+	// The simulation engine is strictly sequential; keeping the Go
+	// scheduler on one OS thread avoids cross-thread handoff cost (~4x).
+	runtime.GOMAXPROCS(1)
+	machine := flag.String("machine", "itoa", "itoa or wisteria")
+	workers := flag.Int("workers", 72, "simulated cores")
+	policy := flag.String("policy", "cont-greedy", "cont-greedy, cont-stalling or child-full")
+	n := flag.Int("n", 1<<14, "sequence length")
+	c := flag.Int("c", 512, "leaf block size C")
+	verify := flag.Bool("verify", false, "run the real DP in leaves and check the answer")
+	seed := flag.Int64("seed", 7, "input seed")
+	flag.Parse()
+
+	p := workload.LCSParams{N: *n, C: *c, Seed: *seed, Verify: *verify, CellCost: 1, Alphabet: 8}
+	var pol core.Policy
+	switch *policy {
+	case "cont-greedy":
+		pol = core.ContGreedy
+	case "cont-stalling":
+		pol = core.ContStalling
+	case "child-full":
+		pol = core.ChildFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	cfg := core.Config{
+		Machine:     experiments.MachineByName(*machine),
+		Workers:     *workers,
+		Policy:      pol,
+		RemoteFree:  remobj.LocalCollection,
+		RetvalBytes: p.RetvalBytes(),
+		Seed:        *seed,
+		MaxTime:     3600 * sim.Second,
+	}
+	mach := cfg.Machine
+	rt := core.New(cfg)
+	ret, st := rt.Run(workload.LCS(p))
+	length := int64(uint64(ret[0]) | uint64(ret[1])<<8 | uint64(ret[2])<<16 | uint64(ret[3])<<24)
+
+	fmt.Printf("LCS n=%d C=%d on %s, %d workers, %v\n", *n, *c, *machine, *workers, pol)
+	fmt.Printf("  exec time  %v\n", st.ExecTime)
+	t1, tinf := mach.Compute(p.T1()), mach.Compute(p.TInf())
+	lower := t1 / sim.Time(*workers)
+	if tinf > lower {
+		lower = tinf
+	}
+	fmt.Printf("  bounds     max(T1/P,Tinf)=%v  T1/P+Tinf=%v\n", lower, t1/sim.Time(*workers)+tinf)
+	fmt.Printf("  steals     %d ok / %d failed; migrations %d\n",
+		st.Work.StealsOK, st.Work.StealsFail, st.Stack.MigrationsIn)
+	if *verify {
+		a, b := p.GenSequences()
+		want := int64(workload.SerialLCS(a, b))
+		status := "OK"
+		if length != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  verify     parallel=%d serial=%d %s\n", length, want, status)
+		if length != want {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command pfor runs the PFor synthetic benchmark (Fig. 5 of the paper)
+// under a chosen scheduler and prints the run statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"contsteal/internal/core"
+	"contsteal/internal/experiments"
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+	"contsteal/internal/workload"
+)
+
+func main() {
+	// The simulation engine is strictly sequential; keeping the Go
+	// scheduler on one OS thread avoids cross-thread handoff cost (~4x).
+	runtime.GOMAXPROCS(1)
+	machine := flag.String("machine", "itoa", "itoa or wisteria")
+	workers := flag.Int("workers", 72, "simulated cores")
+	policy := flag.String("policy", "cont-greedy", "cont-greedy, cont-stalling, child-full, child-rtc")
+	free := flag.String("free", "localcollection", "remote-free strategy: localcollection or lockqueue")
+	n := flag.Int("n", 4096, "problem size N")
+	k := flag.Int("k", 5, "consecutive parallel loops K")
+	m := flag.Int64("m", 10, "leaf duration M in microseconds")
+	seed := flag.Int64("seed", 42, "RNG seed")
+	rec := flag.Bool("rec", false, "run RecPFor instead of PFor")
+	trace := flag.String("trace", "", "write a Chrome-format execution trace to this file")
+	flag.Parse()
+
+	p := workload.PForParams{K: *k, M: sim.Time(*m) * sim.Microsecond, N: *n}
+	cfg := core.Config{
+		Machine:    experiments.MachineByName(*machine),
+		Workers:    *workers,
+		Policy:     parsePolicy(*policy),
+		RemoteFree: parseFree(*free),
+		Seed:       *seed,
+		MaxTime:    3600 * sim.Second,
+	}
+	task, t1, name := workload.PFor(p), p.T1PFor(), "PFor"
+	if *rec {
+		task, t1, name = workload.RecPFor(p), p.T1RecPFor(), "RecPFor"
+	}
+	t1 = cfg.Machine.Compute(t1)
+	cfg.Trace = *trace != ""
+	rt := core.New(cfg)
+	_, st := rt.Run(task)
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rt.TraceLog().WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *trace)
+	}
+	fmt.Printf("%s N=%d K=%d M=%vus on %s, %d workers, %v + %v\n",
+		name, *n, *k, *m, *machine, *workers, cfg.Policy, cfg.RemoteFree)
+	printStats(st, t1)
+}
+
+func parsePolicy(s string) core.Policy {
+	switch s {
+	case "cont-greedy":
+		return core.ContGreedy
+	case "cont-stalling":
+		return core.ContStalling
+	case "child-full":
+		return core.ChildFull
+	case "child-rtc":
+		return core.ChildRtC
+	}
+	fmt.Fprintf(os.Stderr, "unknown policy %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func parseFree(s string) remobj.Strategy {
+	switch s {
+	case "localcollection":
+		return remobj.LocalCollection
+	case "lockqueue":
+		return remobj.LockQueue
+	}
+	fmt.Fprintf(os.Stderr, "unknown free strategy %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func printStats(st core.RunStats, t1 sim.Time) {
+	fmt.Printf("  exec time          %v (ideal %v, efficiency %.3f)\n",
+		st.ExecTime, t1/sim.Time(st.Workers), st.Efficiency(t1))
+	fmt.Printf("  tasks              %d (spawns %d, joins %d)\n", st.Work.Tasks, st.Work.Spawns, st.Work.Joins)
+	fmt.Printf("  steals             %d ok / %d failed, avg latency %v\n",
+		st.Work.StealsOK, st.Work.StealsFail, st.AvgStealLatency())
+	fmt.Printf("  stolen task size   %.0f bytes avg, copy %v avg\n", st.AvgStolenBytes(), st.AvgTaskCopyTime())
+	fmt.Printf("  outstanding joins  %d, avg resume delay %v\n", st.Join.Outstanding, st.AvgOutstandingJoinTime())
+	fmt.Printf("  stack traffic      %d migrations, %d evacuations, %.1f MiB moved\n",
+		st.Stack.MigrationsIn, st.Stack.Evacuations, float64(st.Stack.BytesMoved)/(1<<20))
+	fmt.Printf("  fabric             %d gets, %d puts, %d atomics\n",
+		st.Fabric.Gets, st.Fabric.Puts, st.Fabric.Atomics)
+}

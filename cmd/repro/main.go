@@ -1,0 +1,247 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated cluster and prints them as aligned text tables (and, for the
+// figures, as TSV series suitable for plotting).
+//
+// Usage:
+//
+//	repro fig6   [-bench pfor|recpfor] [-machine itoa|wisteria] [-workers N] [-scale K]
+//	repro table2 [-bench pfor|recpfor] [-machine ...] [-workers N]
+//	repro fig7   [-machine ...] [-workers N]
+//	repro fig8   [-tree T1L|T1XXL|T1WL] [-seqdepth D]
+//	repro fig9   [-tree ...] [-workers-list 48,192,768] [-seqdepth D]
+//	repro table3 [-machine ...] [-workers N]
+//	repro fig12  [-machine ...]
+//	repro all    (runs everything at default scale)
+//
+// Absolute numbers are simulation outputs, not hardware measurements; the
+// experiment shapes are what reproduce the paper (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"contsteal/internal/experiments"
+)
+
+func main() {
+	// The simulation engine is strictly sequential; keeping the Go
+	// scheduler on one OS thread avoids cross-thread handoff cost (~4x).
+	runtime.GOMAXPROCS(1)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	bench := fs.String("bench", "recpfor", "pfor or recpfor")
+	machine := fs.String("machine", "itoa", "itoa or wisteria")
+	workers := fs.Int("workers", 0, "simulated cores (0 = experiment default)")
+	scale := fs.Int("scale", 0, "problem-size scale shift (+k doubles sizes k times)")
+	tree := fs.String("tree", "T1L", "UTS tree: T1L, T1XXL or T1WL")
+	seqDepth := fs.Int("seqdepth", 3, "UTS: serialize the bottom D tree levels per task")
+	workersList := fs.String("workers-list", "", "comma-separated worker counts for sweeps")
+	n := fs.Int("n", 0, "problem size override")
+	seed := fs.Int64("seed", 42, "RNG seed")
+	workScale := fs.Int("workscale", 1, "UTS: multiply per-node work (one node stands for k)")
+	dequeCap := fs.Int("dequecap", 0, "per-worker deque capacity override")
+	tsvDir := fs.String("tsv", "", "also write the series as TSV files into this directory")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	o := experiments.Options{Machine: *machine, Workers: *workers, Scale: *scale, Seed: *seed, WorkScale: *workScale, DequeCap: *dequeCap}
+	sweep := parseList(*workersList)
+	tsvOut = *tsvDir
+
+	switch cmd {
+	case "fig6":
+		printFig6(experiments.Fig6(o, *bench, nil))
+	case "table2":
+		printTable2(experiments.Table2(o, *bench, *n))
+	case "fig7":
+		printFig7(experiments.Fig7(o, *n))
+	case "fig8":
+		printFig8("Fig. 8: UTS throughput on "+*machine, experiments.Fig8(o, *tree, sweep, *seqDepth))
+	case "fig9":
+		o2 := o
+		if *machine == "itoa" {
+			o2.Machine = "wisteria"
+		}
+		printFig8("Fig. 9: UTS throughput (ours) on "+o2.Machine, experiments.Fig9(o2, *tree, sweep, *seqDepth))
+	case "table3":
+		printTable3(experiments.Table3(o, nil))
+	case "fig12":
+		printFig12(experiments.Fig12(o, nil, sweep))
+	case "all":
+		for _, b := range []string{"pfor", "recpfor"} {
+			printFig6(experiments.Fig6(o, b, nil))
+			printTable2(experiments.Table2(o, b, 0))
+		}
+		printFig7(experiments.Fig7(o, 0))
+		printFig8("Fig. 8: UTS throughput on itoa", experiments.Fig8(o, *tree, sweep, *seqDepth))
+		o2 := o
+		o2.Machine = "wisteria"
+		printFig8("Fig. 9: UTS throughput (ours) on wisteria", experiments.Fig9(o2, *tree, sweep, *seqDepth))
+		printTable3(experiments.Table3(o, nil))
+		printFig12(experiments.Fig12(o, nil, nil))
+	default:
+		usage()
+	}
+}
+
+// tsvOut, when set, is the directory TSV series are written into.
+var tsvOut string
+
+// writeTSV writes rows of tab-separated values for external plotting.
+func writeTSV(name string, header []string, rows [][]string) {
+	if tsvOut == "" {
+		return
+	}
+	if err := os.MkdirAll(tsvOut, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "tsv:", err)
+		return
+	}
+	f, err := os.Create(tsvOut + "/" + name + ".tsv")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsv:", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintln(f, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(f, strings.Join(r, "\t"))
+	}
+	fmt.Printf("(series written to %s/%s.tsv)\n", tsvOut, name)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|all} [flags]")
+	os.Exit(2)
+}
+
+func parseList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad workers list %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func printFig6(rows []experiments.Fig6Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("\n== Fig. 6: %s parallel efficiency on %s ==\n", rows[0].Bench, rows[0].Machine)
+	w := tw()
+	fmt.Fprintln(w, "N\tvariant\tideal(T1/P)\texec\tefficiency")
+	var tsv [][]string
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%v\t%v\t%.3f\n", r.N, r.Variant, r.IdealTime, r.ExecTime, r.Efficiency)
+		tsv = append(tsv, []string{
+			fmt.Sprint(r.N), r.Variant,
+			fmt.Sprintf("%.6f", r.IdealTime.Seconds()),
+			fmt.Sprintf("%.6f", r.ExecTime.Seconds()),
+			fmt.Sprintf("%.4f", r.Efficiency)})
+	}
+	w.Flush()
+	writeTSV("fig6_"+rows[0].Bench+"_"+rows[0].Machine,
+		[]string{"N", "variant", "ideal_s", "exec_s", "efficiency"}, tsv)
+}
+
+func printTable2(rows []experiments.Table2Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("\n== Table II: join/steal statistics, %s on %s ==\n", rows[0].Bench, rows[0].Machine)
+	w := tw()
+	fmt.Fprintln(w, "strategy\texec\t#OJ\tavgOJtime\t#steals(ok)\tavgLatency\t#steals(fail)\tavgStolen\tavgCopy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%v\t%d\t%v\t%d\t%.0fB\t%v\n",
+			r.Variant, r.ExecTime, r.OutstandingJoins, r.AvgOutstandingTime,
+			r.StealsOK, r.AvgStealLatency, r.StealsFailed, r.AvgStolenBytes, r.AvgTaskCopyTime)
+	}
+	w.Flush()
+}
+
+func printFig7(res experiments.Fig7Result) {
+	fmt.Printf("\n== Fig. 7: RecPFor scheduler activity time series (%d workers) ==\n", res.Workers)
+	fmt.Println("t(ms)\tbusy[greedy]\treadyOJ[greedy]\tbusy[child-full]\treadyOJ[child-full]")
+	n := len(res.ContGreedy)
+	if len(res.ChildFull) > n {
+		n = len(res.ChildFull)
+	}
+	for i := 0; i < n; i++ {
+		var t float64
+		bg, rg, bc, rc := "", "", "", ""
+		if i < len(res.ContGreedy) {
+			s := res.ContGreedy[i]
+			t = s.T.Seconds() * 1e3
+			bg, rg = fmt.Sprint(s.Busy), fmt.Sprint(s.Ready)
+		}
+		if i < len(res.ChildFull) {
+			s := res.ChildFull[i]
+			t = s.T.Seconds() * 1e3
+			bc, rc = fmt.Sprint(s.Busy), fmt.Sprint(s.Ready)
+		}
+		fmt.Printf("%.1f\t%s\t%s\t%s\t%s\n", t, bg, rg, bc, rc)
+	}
+}
+
+func printFig8(title string, rows []experiments.Fig8Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("\n== %s, tree %s (%d nodes) ==\n", title, rows[0].Tree, rows[0].Nodes)
+	w := tw()
+	fmt.Fprintln(w, "system\tworkers\texec\tthroughput(Mnodes/s)\tefficiency")
+	var tsv [][]string
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%.2f\t%.3f\n",
+			r.System, r.Workers, r.ExecTime, r.Throughput/1e6, r.Efficiency)
+		tsv = append(tsv, []string{
+			r.System, fmt.Sprint(r.Workers),
+			fmt.Sprintf("%.6f", r.ExecTime.Seconds()),
+			fmt.Sprintf("%.3f", r.Throughput/1e6),
+			fmt.Sprintf("%.4f", r.Efficiency)})
+	}
+	w.Flush()
+	writeTSV("uts_"+rows[0].Tree+"_"+rows[0].Machine,
+		[]string{"system", "workers", "exec_s", "Mnodes_per_s", "efficiency"}, tsv)
+}
+
+func printTable3(rows []experiments.Table3Row) {
+	fmt.Printf("\n== Table III: LCS execution times ==\n")
+	w := tw()
+	fmt.Fprintln(w, "N\tscheduler\texec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%v\n", r.N, r.Variant, r.ExecTime)
+	}
+	w.Flush()
+}
+
+func printFig12(rows []experiments.Fig12Row) {
+	fmt.Printf("\n== Fig. 12: LCS vs greedy-scheduling-theorem bounds ==\n")
+	w := tw()
+	fmt.Fprintln(w, "N\tworkers\texec\tlower=max(T1/P,Tinf)\tupper=T1/P+Tinf\tin-band")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%v\t%v\n",
+			r.N, r.Workers, r.ExecTime, r.LowerBound, r.UpperBound, r.InBand)
+	}
+	w.Flush()
+}

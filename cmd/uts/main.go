@@ -1,0 +1,47 @@
+// Command uts runs the Unbalanced Tree Search benchmark (§V-C) under our
+// fork-join runtime or any of the three bag-of-tasks baselines, printing
+// throughput in the units of Fig. 8/9 (nodes per second of virtual time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"contsteal/internal/experiments"
+)
+
+func main() {
+	// The simulation engine is strictly sequential; keeping the Go
+	// scheduler on one OS thread avoids cross-thread handoff cost (~4x).
+	runtime.GOMAXPROCS(1)
+	machine := flag.String("machine", "itoa", "itoa or wisteria")
+	workers := flag.Int("workers", 72, "simulated cores")
+	system := flag.String("system", "ours", "ours, saws, charm or glb")
+	tree := flag.String("tree", "T1L", "T1L, T1XXL or T1WL (scaled-down variants)")
+	seqDepth := flag.Int("seqdepth", 3, "serialize the bottom D tree levels per task (ours only)")
+	seed := flag.Int64("seed", 42, "RNG seed")
+	workScale := flag.Int("workscale", 1, "multiply per-node work (one node stands for k)")
+	dequeCap := flag.Int("dequecap", 0, "per-worker deque capacity override")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at peak")
+	flag.Parse()
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err == nil {
+				_ = pprof.Lookup("heap").WriteTo(f, 0)
+				f.Close()
+			}
+		}()
+	}
+
+	o := experiments.Options{Machine: *machine, Workers: *workers, Seed: *seed, WorkScale: *workScale, DequeCap: *dequeCap}
+	row := experiments.UTSOnce(o, *system, *tree, *workers, *seqDepth)
+	fmt.Printf("UTS %s (%d nodes) under %s on %s, %d workers\n",
+		row.Tree, row.Nodes, row.System, row.Machine, row.Workers)
+	fmt.Printf("  exec time   %v\n", row.ExecTime)
+	fmt.Printf("  throughput  %.2f Mnodes/s\n", row.Throughput/1e6)
+	fmt.Printf("  efficiency  %.3f (vs modelled single-core rate)\n", row.Efficiency)
+}

@@ -1,0 +1,191 @@
+// Package contsteal is a distributed continuation-stealing task runtime
+// over (simulated) RDMA — a from-scratch reproduction of:
+//
+//	Shumpei Shiina and Kenjiro Taura. "Distributed Continuation Stealing is
+//	More Scalable than You Might Think." IEEE CLUSTER 2022.
+//
+// The library lets you write fork-join and future-based task-parallel
+// programs and execute them on a simulated cluster of up to hundreds of
+// thousands of cores, under four scheduling policies:
+//
+//   - ContGreedy   — continuation stealing with greedy join (the paper's
+//     system: uni-address stack migration, RDMA join race, thread migration
+//     at joins);
+//   - ContStalling — continuation stealing with stalling join (suspended
+//     threads wait in per-worker queues and are never migrated);
+//   - ChildFull    — child stealing with fully fledged (suspendable, tied)
+//     threads;
+//   - ChildRtC     — child stealing with run-to-completion tasks.
+//
+// # Quick start
+//
+//	cfg := contsteal.Config{
+//		Machine: contsteal.ITOA(), // ITO-A-like cluster model
+//		Workers: 144,              // four 36-core nodes
+//		Policy:  contsteal.ContGreedy,
+//	}
+//	sum, stats := contsteal.RunInt64(cfg, func(c *contsteal.Ctx) int64 {
+//		h := c.Spawn(func(c *contsteal.Ctx) []byte {
+//			c.Compute(10 * contsteal.Microsecond) // simulated work
+//			return contsteal.Int64Ret(21)
+//		})
+//		return 21 + h.JoinInt64(c)
+//	})
+//	fmt.Println(sum, stats.ExecTime)
+//
+// Tasks run deterministically: given the same Config (including Seed), a
+// program produces the identical schedule, timings, and statistics on every
+// run — the whole cluster, network and scheduler are a discrete-event
+// simulation (see DESIGN.md for the model and its calibration).
+//
+// The statistics returned by Run cover everything the paper's evaluation
+// reports: steal counts and latencies, stolen payload sizes and copy times,
+// outstanding-join counts and resume delays, and an optional busy-worker
+// time series.
+package contsteal
+
+import (
+	"encoding/binary"
+
+	"contsteal/internal/core"
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// Core type surface, re-exported.
+type (
+	// Ctx is the interface tasks use to spawn, join, and compute.
+	Ctx = core.Ctx
+	// Handle identifies a spawned task/future; it can be passed to and
+	// joined by any task.
+	Handle = core.Handle
+	// TaskFunc is a task body; its []byte return value is delivered to
+	// joiners (nil for none).
+	TaskFunc = core.TaskFunc
+	// Policy selects the stealing/joining strategy.
+	Policy = core.Policy
+	// Config parameterizes a run; the zero value plus a Policy is usable.
+	Config = core.Config
+	// Stats aggregates everything measured during a run.
+	Stats = core.RunStats
+	// Sample is one point of the busy-workers time series.
+	Sample = core.Sample
+	// Machine is a cluster cost model.
+	Machine = topo.Machine
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+)
+
+// Scheduling policies.
+const (
+	ContGreedy   = core.ContGreedy
+	ContStalling = core.ContStalling
+	ChildFull    = core.ChildFull
+	ChildRtC     = core.ChildRtC
+)
+
+// Remote-object freeing strategies (§III-B of the paper).
+const (
+	// LockQueue is the baseline: a remote free costs four round trips
+	// against the owner's lock-protected incoming queue.
+	LockQueue = remobj.LockQueue
+	// LocalCollection is the optimized strategy: one nonblocking put sets a
+	// free bit; the owner sweeps under allocation pressure.
+	LocalCollection = remobj.LocalCollection
+)
+
+// Virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// ITOA returns the ITO-A-like machine model (Xeon + InfiniBand EDR,
+// 36 cores/node).
+func ITOA() *Machine { return topo.ITOA() }
+
+// WisteriaO returns the WISTERIA-O-like machine model (A64FX + Tofu-D,
+// 48 cores/node).
+func WisteriaO() *Machine { return topo.WisteriaO() }
+
+// UniformMachine returns a flat test machine where every remote operation
+// costs lat and local operations are free.
+func UniformMachine(lat Time) *Machine { return topo.Uniform(lat) }
+
+// Int64Ret encodes an int64 as a task return value.
+func Int64Ret(v int64) []byte { return core.Int64Ret(v) }
+
+// Runtime is a configured simulated cluster. Most programs just call Run;
+// construct a Runtime explicitly when substrates (e.g. global arrays) must
+// be allocated before the computation starts.
+type Runtime = core.Runtime
+
+// NewRuntime builds a simulated cluster. Call its Run method exactly once.
+func NewRuntime(cfg Config) *Runtime { return core.New(cfg) }
+
+// Run executes root on a fresh simulated cluster described by cfg and
+// returns its return value and the run statistics.
+func Run(cfg Config, root TaskFunc) ([]byte, Stats) {
+	return core.New(cfg).Run(root)
+}
+
+// RunInt64 is Run for tasks returning a single int64.
+func RunInt64(cfg Config, root func(c *Ctx) int64) (int64, Stats) {
+	ret, st := Run(cfg, func(c *Ctx) []byte { return Int64Ret(root(c)) })
+	return int64(binary.LittleEndian.Uint64(ret)), st
+}
+
+// ParallelFor executes body(i) for i in [lo, hi) as a recursive binary
+// fork-join (the cilk_for pattern used by the paper's synthetic
+// benchmarks). grain is the number of consecutive iterations one task runs
+// serially (use 1 for maximal parallelism).
+func ParallelFor(c *Ctx, lo, hi, grain int, body func(c *Ctx, i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if n <= grain {
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+		return
+	}
+	mid := lo + n/2
+	h := c.Spawn(func(c *Ctx) []byte {
+		ParallelFor(c, lo, mid, grain, body)
+		return nil
+	})
+	ParallelFor(c, mid, hi, grain, body)
+	h.Join(c)
+}
+
+// ParallelReduce computes the sum of body(i) over [lo, hi) with recursive
+// binary fork-join.
+func ParallelReduce(c *Ctx, lo, hi, grain int, body func(c *Ctx, i int) int64) int64 {
+	if grain < 1 {
+		grain = 1
+	}
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	if n <= grain {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += body(c, i)
+		}
+		return sum
+	}
+	mid := lo + n/2
+	h := c.Spawn(func(c *Ctx) []byte {
+		return Int64Ret(ParallelReduce(c, lo, mid, grain, body))
+	})
+	sum := ParallelReduce(c, mid, hi, grain, body)
+	return sum + h.JoinInt64(c)
+}

@@ -1,0 +1,122 @@
+package contsteal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func apiConfig(p Policy) Config {
+	return Config{
+		Machine: UniformMachine(500),
+		Workers: 4,
+		Policy:  p,
+		Seed:    5,
+		MaxTime: 30 * Second,
+	}
+}
+
+func TestRunInt64(t *testing.T) {
+	got, st := RunInt64(apiConfig(ContGreedy), func(c *Ctx) int64 {
+		h := c.Spawn(func(c *Ctx) []byte {
+			c.Compute(10 * Microsecond)
+			return Int64Ret(21)
+		})
+		return 21 + h.JoinInt64(c)
+	})
+	if got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+	if st.ExecTime <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, grain := range []int{1, 3, 16, 1000} {
+		grain := grain
+		covered := make([]bool, 100)
+		_, _ = RunInt64(apiConfig(ContGreedy), func(c *Ctx) int64 {
+			ParallelFor(c, 0, 100, grain, func(c *Ctx, i int) {
+				if covered[i] {
+					t.Errorf("grain %d: index %d executed twice", grain, i)
+				}
+				covered[i] = true
+				c.Compute(500)
+			})
+			return 0
+		})
+		for i, ok := range covered {
+			if !ok {
+				t.Errorf("grain %d: index %d never executed", grain, i)
+			}
+		}
+	}
+}
+
+func TestParallelForEmptyAndTinyRanges(t *testing.T) {
+	_, _ = RunInt64(apiConfig(ContGreedy), func(c *Ctx) int64 {
+		ParallelFor(c, 5, 5, 1, func(c *Ctx, i int) { t.Error("body ran for empty range") })
+		ParallelFor(c, 7, 5, 1, func(c *Ctx, i int) { t.Error("body ran for inverted range") })
+		n := 0
+		ParallelFor(c, 3, 4, 1, func(c *Ctx, i int) { n++ })
+		if n != 1 {
+			t.Errorf("single-element range ran %d times", n)
+		}
+		return 0
+	})
+}
+
+func TestParallelReduce(t *testing.T) {
+	check := func(n uint8, grain uint8) bool {
+		want := int64(0)
+		for i := 0; i < int(n); i++ {
+			want += int64(i * i)
+		}
+		got, _ := RunInt64(apiConfig(ContGreedy), func(c *Ctx) int64 {
+			return ParallelReduce(c, 0, int(n), int(grain%16)+1, func(c *Ctx, i int) int64 {
+				return int64(i * i)
+			})
+		})
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllPoliciesThroughPublicAPI(t *testing.T) {
+	for _, p := range []Policy{ContGreedy, ContStalling, ChildFull, ChildRtC} {
+		got, _ := RunInt64(apiConfig(p), func(c *Ctx) int64 {
+			return ParallelReduce(c, 0, 64, 1, func(c *Ctx, i int) int64 {
+				c.Compute(2 * Microsecond)
+				return 1
+			})
+		})
+		if got != 64 {
+			t.Errorf("%v: got %d, want 64", p, got)
+		}
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	if ITOA().CoresPerNode != 36 {
+		t.Error("ITOA should have 36 cores/node")
+	}
+	if WisteriaO().CoresPerNode != 48 {
+		t.Error("WisteriaO should have 48 cores/node")
+	}
+	if UniformMachine(5).CoresPerNode != 1 {
+		t.Error("UniformMachine should have 1 core/node")
+	}
+}
+
+func TestLockQueueVsLocalCollectionThroughAPI(t *testing.T) {
+	for _, strat := range []struct {
+		name string
+		s    interface{ String() string }
+	}{{"lockqueue", LockQueue}, {"localcollection", LocalCollection}} {
+		if strat.s.String() != strat.name {
+			t.Errorf("strategy name %q, want %q", strat.s.String(), strat.name)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: spawn and join tasks on a simulated 144-core cluster and
+// inspect the run statistics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"contsteal"
+)
+
+// fib computes Fibonacci numbers with one spawned task per level — the
+// classic fork-join toy. Each leaf burns 1 µs of simulated compute.
+func fib(c *contsteal.Ctx, n int) int64 {
+	if n < 2 {
+		c.Compute(1 * contsteal.Microsecond)
+		return int64(n)
+	}
+	h := c.Spawn(func(c *contsteal.Ctx) []byte {
+		return contsteal.Int64Ret(fib(c, n-1))
+	})
+	y := fib(c, n-2)
+	return y + h.JoinInt64(c)
+}
+
+func main() {
+	cfg := contsteal.Config{
+		Machine: contsteal.ITOA(), // Xeon + InfiniBand cost model
+		Workers: 144,              // four 36-core nodes
+		Policy:  contsteal.ContGreedy,
+		Seed:    1,
+	}
+	result, stats := contsteal.RunInt64(cfg, func(c *contsteal.Ctx) int64 {
+		return fib(c, 22)
+	})
+
+	fmt.Printf("fib(22) = %d\n", result)
+	fmt.Printf("virtual execution time: %v on %d workers\n", stats.ExecTime, stats.Workers)
+	fmt.Printf("tasks executed:         %d\n", stats.Work.Tasks)
+	fmt.Printf("successful steals:      %d (avg latency %v, avg stolen %.0f bytes)\n",
+		stats.Work.StealsOK, stats.AvgStealLatency(), stats.AvgStolenBytes())
+	fmt.Printf("outstanding joins:      %d (avg resume delay %v)\n",
+		stats.Join.Outstanding, stats.AvgOutstandingJoinTime())
+	fmt.Printf("stack migrations:       %d (%d KiB moved)\n",
+		stats.Stack.MigrationsIn, stats.Stack.BytesMoved/1024)
+}

@@ -1,0 +1,3 @@
+module contsteal
+
+go 1.22

@@ -1,0 +1,385 @@
+// Package core implements the paper's primary contribution: a distributed
+// work-stealing runtime over (simulated) RDMA supporting both continuation
+// stealing and child stealing, with the stalling-join (Fig. 3) and
+// greedy-join (Fig. 4) synchronization algorithms, uni-address thread-stack
+// migration, remote-object memory management, and general futures with a
+// fixed number of consumers (§V-D).
+//
+// One Runtime simulates a whole cluster run: P workers (one per simulated
+// core), each a simulated process with its own THE-protocol deque in
+// registered memory, a wait queue, a uni-address stack manager, and a
+// remote-object allocator. User code is expressed as TaskFuncs receiving a
+// Ctx, whose Spawn/Join/Compute calls drive the scheduling algorithms and
+// charge the machine model's costs to virtual time.
+//
+// Scheduling policies (§IV):
+//
+//   - ContGreedy:   continuation stealing, greedy join  — the paper's system.
+//   - ContStalling: continuation stealing, stalling join — the Akiyama/Taura
+//     baseline behaviour (suspended threads are not migrated).
+//   - ChildFull:    child stealing with fully fledged threads (own stacks,
+//     suspendable, tied to their worker).
+//   - ChildRtC:     child stealing with run-to-completion threads (joins can
+//     be "buried" under nested task execution).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contsteal/internal/deque"
+	"contsteal/internal/rdma"
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+	"contsteal/internal/uniaddr"
+)
+
+// Policy selects the stealing and joining strategy of a Runtime.
+type Policy int
+
+const (
+	// ContGreedy is continuation stealing with the greedy join of Fig. 4.
+	ContGreedy Policy = iota
+	// ContStalling is continuation stealing with the stalling join of Fig. 3.
+	ContStalling
+	// ChildFull is child stealing with fully fledged (suspendable, tied)
+	// threads, each with its own stack.
+	ChildFull
+	// ChildRtC is child stealing with run-to-completion threads realized as
+	// ordinary function calls (subject to the buried-join problem).
+	ChildRtC
+)
+
+func (p Policy) String() string {
+	switch p {
+	case ContGreedy:
+		return "cont-greedy"
+	case ContStalling:
+		return "cont-stalling"
+	case ChildFull:
+		return "child-full"
+	case ChildRtC:
+		return "child-rtc"
+	}
+	return "invalid"
+}
+
+// Continuation reports whether the policy steals continuations.
+func (p Policy) Continuation() bool { return p == ContGreedy || p == ContStalling }
+
+// TaskFunc is the body of a task/thread. Its return value (at most the
+// runtime's RetvalBytes, nil for none) is written to the task's thread
+// entry and handed to joiners.
+type TaskFunc func(c *Ctx) []byte
+
+// Config parameterizes a Runtime.
+type Config struct {
+	Machine *topo.Machine
+	Workers int
+	Policy  Policy
+	// RemoteFree selects the remote-object freeing strategy (§III-B):
+	// remobj.LockQueue (baseline) or remobj.LocalCollection (optimized).
+	RemoteFree remobj.Strategy
+	Seed       int64
+
+	// StackBytes is the logical stack footprint of one thread in the
+	// uni-address region — the payload a continuation steal must copy.
+	StackBytes int
+	// ChildTaskBytes is the descriptor size of a child-stealing task
+	// ("function pointer and its arguments").
+	ChildTaskBytes int
+	// RetvalBytes is the size of the return-value field in thread entries.
+	RetvalBytes int
+
+	DequeCap        int
+	UniRegionBytes  int
+	EvacRegionBytes int
+	SegmentBytes    int
+
+	// Sample, when positive, enables the Fig. 7 time series with the given
+	// sampling period.
+	Sample sim.Time
+
+	// MaxTime aborts the run at the given virtual time (0 = no limit),
+	// protecting against livelocked configurations.
+	MaxTime sim.Time
+
+	// IntraNodeStealProb enables topology-aware victim selection (§VI of
+	// the paper lists it as future work for RDMA-based stealing): with this
+	// probability an idle worker picks its victim among the ranks of its
+	// own node (cheap intra-node steal) instead of uniformly at random.
+	// 0 selects the paper's policy: uniform over all workers.
+	IntraNodeStealProb float64
+
+	// StackScheme selects how thread-stack virtual addresses are managed:
+	// the uni-address scheme of Akiyama and Taura (default) or the
+	// iso-address scheme of PM2/Charm++ for comparison (§II-D).
+	StackScheme StackScheme
+
+	// Trace enables per-event execution tracing (task spans, steals,
+	// suspends/resumes/migrations); retrieve with Runtime.TraceLog and
+	// export via Trace.WriteChromeTrace.
+	Trace bool
+}
+
+// StackScheme selects the stack-address management scheme.
+type StackScheme int
+
+const (
+	// UniAddress places running stacks in a shared-layout region and
+	// evacuates suspended stacks (the paper's scheme).
+	UniAddress StackScheme = iota
+	// IsoAddress gives every stack a globally unique virtual address, so
+	// suspension needs no evacuation — at the price of unbounded virtual
+	// address (and pinned-memory) consumption, the §II-D motivation for
+	// uni-address. The consumption is reported in RunStats.IsoVirtualBytes.
+	IsoAddress
+)
+
+func (s StackScheme) String() string {
+	if s == IsoAddress {
+		return "iso-address"
+	}
+	return "uni-address"
+}
+
+// defaults fills unset fields.
+func (c *Config) defaults() {
+	if c.Machine == nil {
+		c.Machine = topo.ITOA()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.StackBytes <= 0 {
+		c.StackBytes = 1600
+	}
+	if c.ChildTaskBytes <= 0 {
+		c.ChildTaskBytes = 56
+	}
+	if c.RetvalBytes <= 0 {
+		c.RetvalBytes = 8
+	}
+	if c.DequeCap <= 0 {
+		c.DequeCap = 8192
+	}
+	if c.UniRegionBytes <= 0 {
+		c.UniRegionBytes = 4 << 20
+	}
+	if c.EvacRegionBytes <= 0 {
+		c.EvacRegionBytes = 16 << 20
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+}
+
+// Runtime is one simulated cluster execution environment.
+type Runtime struct {
+	cfg     Config
+	eng     *sim.Engine
+	fab     *rdma.Fabric
+	objs    *remobj.Space
+	workers []*Worker
+
+	threads  []*Thread // registry: Thread by id (ids are never reused)
+	childSeq int64     // child-task id sequence
+	done     bool
+	rootRet  []byte
+	busy     int // gauge: workers executing user work
+	readyOJ  int // gauge: resumable-but-not-resumed outstanding joins
+	joinInfo map[rdma.Loc]*joinInfo
+	jstats   JoinStats
+	series   []Sample
+
+	// isoNext/isoHigh implement iso-address accounting: a global
+	// never-reused virtual address counter and its high-water mark.
+	isoNext uint64
+	isoHigh uint64
+
+	tr *traceState // non-nil when Config.Trace is set
+}
+
+// New builds a runtime. Call Run exactly once.
+func New(cfg Config) *Runtime {
+	cfg.defaults()
+	eng := sim.NewEngine()
+	fab := rdma.NewFabric(eng, cfg.Machine, cfg.Workers, cfg.SegmentBytes)
+	rt := &Runtime{
+		cfg:      cfg,
+		eng:      eng,
+		fab:      fab,
+		objs:     remobj.NewSpace(fab, cfg.RemoteFree),
+		joinInfo: make(map[rdma.Loc]*joinInfo),
+	}
+	if cfg.Trace {
+		rt.tr = newTraceState(cfg.Workers)
+	}
+	entrySize := contEntrySize
+	if !cfg.Policy.Continuation() {
+		entrySize = cfg.ChildTaskBytes
+	}
+	rt.workers = make([]*Worker, cfg.Workers)
+	for r := 0; r < cfg.Workers; r++ {
+		w := &Worker{
+			rt:   rt,
+			rank: r,
+			dq:   deque.New(fab, r, cfg.DequeCap, entrySize),
+			ua:   uniaddr.New(fab, r, cfg.UniRegionBytes, cfg.EvacRegionBytes),
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(r)*0x9E3779B9)),
+		}
+		rt.workers[r] = w
+	}
+	for r := 1; r < cfg.Workers; r++ {
+		if !uniaddr.SameLayout(rt.workers[0].ua, rt.workers[r].ua) {
+			panic("core: uni-address layout differs across ranks")
+		}
+	}
+	return rt
+}
+
+// Engine exposes the underlying simulation engine (e.g. for tests).
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Fabric exposes the runtime's one-sided fabric so companion substrates
+// (e.g. the PGAS global heap) can register memory on the same ranks.
+func (rt *Runtime) Fabric() *rdma.Fabric { return rt.fab }
+
+// Config returns the (defaulted) configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Run executes root as the initial task on worker 0 and simulates until the
+// whole computation completes. It returns the root's return value and the
+// aggregated statistics.
+func (rt *Runtime) Run(root TaskFunc) ([]byte, RunStats) {
+	for _, w := range rt.workers {
+		w.proc = rt.eng.Go(fmt.Sprintf("worker%d", w.rank), w.schedule)
+	}
+	rt.workers[0].rootTask = root
+	if rt.cfg.Sample > 0 {
+		rt.armSampler()
+	}
+	end := rt.eng.Run(rt.maxHorizon())
+	if !rt.done {
+		rt.eng.Shutdown()
+		panic(fmt.Sprintf("core: %v run did not complete by horizon %v (deadlock=%v, live=%d)",
+			rt.cfg.Policy, rt.maxHorizon(), rt.eng.Deadlocked(), rt.eng.Live()))
+	}
+	if live := rt.eng.Live(); live > 0 {
+		rt.eng.Shutdown()
+		panic(fmt.Sprintf("core: %d procs leaked at completion", live))
+	}
+	return rt.rootRet, rt.collect(end)
+}
+
+func (rt *Runtime) maxHorizon() sim.Time {
+	if rt.cfg.MaxTime > 0 {
+		return rt.cfg.MaxTime
+	}
+	return sim.Forever
+}
+
+func (rt *Runtime) armSampler() {
+	var tick func()
+	tick = func() {
+		if rt.done {
+			return
+		}
+		rt.series = append(rt.series, Sample{T: rt.eng.Now(), Busy: rt.busy, Ready: rt.readyOJ})
+		rt.eng.After(rt.cfg.Sample, tick)
+	}
+	rt.eng.After(rt.cfg.Sample, tick)
+}
+
+func (rt *Runtime) collect(end sim.Time) RunStats {
+	rs := RunStats{
+		Policy:   rt.cfg.Policy,
+		Workers:  rt.cfg.Workers,
+		ExecTime: end,
+		Join:     rt.jstats,
+		Fabric:   rt.fab.TotalStats(),
+		Mem:      rt.objs.TotalStats(),
+		Series:   rt.series,
+	}
+	rs.IsoVirtualBytes = rt.isoHigh
+	for _, w := range rt.workers {
+		rs.Work.add(&w.st)
+		rs.Stack.Evacuations += w.ua.St.Evacuations
+		rs.Stack.Restores += w.ua.St.Restores
+		rs.Stack.MigrationsIn += w.ua.St.MigrationsIn
+		rs.Stack.BytesMoved += w.ua.St.BytesMoved
+		rs.Stack.Conflicts += w.ua.St.Conflicts
+	}
+	return rs
+}
+
+// finish is called by the root thread when it completes.
+func (rt *Runtime) finish(ret []byte) {
+	rt.rootRet = append([]byte(nil), ret...)
+	rt.done = true
+}
+
+// info returns (creating if needed) the join bookkeeping for an entry.
+func (rt *Runtime) info(e rdma.Loc) *joinInfo {
+	ji := rt.joinInfo[e]
+	if ji == nil {
+		ji = &joinInfo{}
+		rt.joinInfo[e] = ji
+	}
+	return ji
+}
+
+// joinSuspended records that the joining side suspended at entry e.
+func (rt *Runtime) joinSuspended(e rdma.Loc) {
+	ji := rt.info(e)
+	ji.suspended = true
+	if !ji.counted {
+		ji.counted = true
+		rt.jstats.Outstanding++
+	}
+	rt.checkReady(e, ji)
+}
+
+// joinCompleted records that the joined side reached the sync point.
+func (rt *Runtime) joinCompleted(e rdma.Loc) {
+	ji := rt.info(e)
+	ji.completed = true
+	rt.checkReady(e, ji)
+}
+
+func (rt *Runtime) checkReady(_ rdma.Loc, ji *joinInfo) {
+	if ji.suspended && ji.completed && !ji.ready {
+		ji.ready = true
+		ji.readyAt = rt.eng.Now()
+		rt.readyOJ++
+	}
+}
+
+// joinResumed records that a suspended join's continuation resumed. The
+// elapsed time since it became ready is the outstanding-join time.
+func (rt *Runtime) joinResumed(e rdma.Loc) {
+	ji := rt.joinInfo[e]
+	if ji == nil {
+		return
+	}
+	if ji.ready {
+		rt.jstats.OutstandingTime += rt.eng.Now() - ji.readyAt
+		rt.jstats.Resumed++
+		rt.readyOJ--
+		ji.ready = false
+	}
+	ji.suspended = false
+}
+
+// dropJoinInfo discards bookkeeping when an entry is freed.
+func (rt *Runtime) dropJoinInfo(e rdma.Loc) { delete(rt.joinInfo, e) }
+
+// register adds a thread to the registry and returns its id.
+func (rt *Runtime) register(t *Thread) int64 {
+	t.id = int64(len(rt.threads))
+	rt.threads = append(rt.threads, t)
+	return t.id
+}
+
+func (rt *Runtime) thread(id int64) *Thread { return rt.threads[id] }

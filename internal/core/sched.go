@@ -1,0 +1,241 @@
+package core
+
+import (
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+)
+
+// idleBackoff is the small delay an idle worker waits when it has nothing
+// at all to do (prevents zero-time spinning on latency-free test machines;
+// on realistic machines the failed steal itself dominates).
+const idleBackoff = 100 * sim.Nanosecond
+
+// collectEvery is how many failed steals pass between lock-queue drains.
+const collectEvery = 64
+
+// schedule is the scheduler loop of one worker (the paper's "scheduler
+// context"). It runs whenever no user thread occupies the worker:
+//
+//  1. pop the local deque (ready continuations / resume descriptors /
+//     not-yet-started child tasks) — LIFO;
+//  2. otherwise steal from a uniformly random victim — FIFO at the victim;
+//  3. after a failed steal, resume a thread from the wait queue in
+//     round-robin order (stalling join, §III-A1);
+//  4. periodically drain the incoming remote-free queue (LockQueue mode).
+func (w *Worker) schedule(p *sim.Proc) {
+	rt := w.rt
+	if rt.cfg.Policy == ChildRtC {
+		w.scheduleRtC(p)
+		return
+	}
+	if w.rootTask != nil {
+		w.startRoot(p)
+	}
+	for !rt.done {
+		// 1. Local work first (greedy: ready tasks run immediately).
+		if entry, obj, ok := w.dq.Pop(p); ok {
+			w.dispatchLocal(p, entry, obj)
+			continue
+		}
+		// 2. Random steal (skipped on a single worker).
+		if victim := w.pickVictim(); victim != nil {
+			start := p.Now()
+			if entry, obj, ok := victim.dq.Steal(p, w.rank); ok {
+				w.dispatchStolen(p, victim, entry, obj, start)
+				continue
+			}
+			w.st.StealsFail++
+		}
+		// 3. Wait-queue round robin on failed steals.
+		if len(w.waitQ) > 0 {
+			t := w.waitQ[0]
+			w.waitQ = w.waitQ[1:]
+			w.st.WaitQResumes++
+			w.resume(p, t)
+			p.Park()
+			continue
+		}
+		// 4. Periodic remote-object collection.
+		if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail%collectEvery == 0 {
+			rt.objs.Collect(p, w.rank)
+		}
+		p.Sleep(idleBackoff)
+	}
+}
+
+// startRoot launches the initial task on this worker.
+func (w *Worker) startRoot(p *sim.Proc) {
+	rt := w.rt
+	var root *Thread
+	if rt.cfg.Policy.Continuation() {
+		root = newContThread(w, w.rootTask, Handle{}, -1, true)
+	} else {
+		root = &Thread{rt: rt, fn: w.rootTask, isChildTask: true, isRoot: true, w: w}
+		rt.register(root)
+	}
+	w.setCurrent(root)
+	root.start()
+	p.Park()
+}
+
+// pickVictim selects a steal victim: uniformly at random among the other
+// workers (the paper's policy), or — when IntraNodeStealProb is set —
+// preferring the worker's own node with that probability (topology-aware
+// stealing). Returns nil when there is no one to steal from.
+func (w *Worker) pickVictim() *Worker {
+	n := len(w.rt.workers)
+	if n < 2 {
+		return nil
+	}
+	mach := w.rt.cfg.Machine
+	if pr := w.rt.cfg.IntraNodeStealProb; pr > 0 && mach.CoresPerNode > 1 {
+		node := mach.NodeOf(w.rank)
+		lo := node * mach.CoresPerNode
+		hi := lo + mach.CoresPerNode
+		if hi > n {
+			hi = n
+		}
+		if hi-lo > 1 && w.rng.Float64() < pr {
+			v := lo + w.rng.Intn(hi-lo-1)
+			if v >= w.rank {
+				v++
+			}
+			return w.rt.workers[v]
+		}
+	}
+	v := w.rng.Intn(n - 1)
+	if v >= w.rank {
+		v++
+	}
+	return w.rt.workers[v]
+}
+
+// dispatchLocal runs a descriptor popped from the worker's own deque.
+func (w *Worker) dispatchLocal(p *sim.Proc, entry []byte, obj any) {
+	switch entryKind(entry) {
+	case entCont, entResume:
+		w.resume(p, obj.(*Thread))
+		p.Park()
+	case entChild:
+		w.startChildTask(p, obj.(*childTask))
+		p.Park()
+	default:
+		panic("core: unknown deque entry kind")
+	}
+}
+
+// dispatchStolen runs a stolen descriptor, recording Table II steal
+// statistics: latency (from first protocol op to the task being handed the
+// worker), stolen payload size, and payload copy time.
+func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj any, start sim.Time) {
+	w.st.StealsOK++
+	switch entryKind(entry) {
+	case entCont, entResume:
+		t := obj.(*Thread)
+		copyTime := w.resume(p, t) // migrates the stack (Fig. 2 step 3)
+		w.st.StolenBytes += uint64(t.stackSize)
+		w.st.TaskCopyTime += copyTime
+		w.st.StealLatency += p.Now() - start
+		w.rt.traceEvent(TraceSteal, w.rank, t.id, victim.rank, start)
+		p.Park()
+	case entChild:
+		ct := obj.(*childTask)
+		// The descriptor ("function pointer and arguments") was transferred
+		// by the deque protocol itself; account its payload portion.
+		w.st.StolenBytes += uint64(w.rt.cfg.ChildTaskBytes)
+		w.st.TaskCopyTime += w.rt.cfg.Machine.OneSided(w.rank, victim.rank, w.rt.cfg.ChildTaskBytes, false)
+		w.st.StealLatency += p.Now() - start
+		w.rt.traceEvent(TraceSteal, w.rank, ct.id, victim.rank, start)
+		if w.rt.cfg.Policy == ChildRtC {
+			w.runInline(p, ct)
+			return
+		}
+		w.startChildTask(p, ct)
+		p.Park()
+	default:
+		panic("core: unknown deque entry kind")
+	}
+}
+
+// startChildTask begins a stolen or locally popped child task as a fully
+// fledged thread: it gets its own (32 KiB) stack and may suspend at joins,
+// but is tied to this worker forever after.
+func (w *Worker) startChildTask(p *sim.Proc, ct *childTask) {
+	rt := w.rt
+	t := &Thread{rt: rt, fn: ct.fn, entry: ct.hdl.E, hdl: ct.hdl, isChildTask: true, w: w}
+	rt.register(t)
+	// Stack allocation plus the switch onto it.
+	p.Sleep(rt.cfg.Machine.AllocCost + rt.cfg.Machine.CtxSwitch)
+	w.setCurrent(t)
+	t.start()
+}
+
+// ---------------------------------------------------------------------------
+// Run-to-completion child stealing: the whole worker is one call stack.
+// ---------------------------------------------------------------------------
+
+// scheduleRtC is the worker loop when tasks are plain function calls.
+func (w *Worker) scheduleRtC(p *sim.Proc) {
+	rt := w.rt
+	if w.rootTask != nil {
+		w.rtcEnter()
+		ret := w.rootTask(&Ctx{rt: rt, w: w, p: p})
+		rt.finish(ret)
+		w.rtcExit()
+		return
+	}
+	for !rt.done {
+		if !w.tryRunOneRtC(p) {
+			if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail%collectEvery == 0 {
+				rt.objs.Collect(p, w.rank)
+			}
+			p.Sleep(idleBackoff)
+		}
+	}
+}
+
+// tryRunOneRtC pops or steals one child task and executes it inline on top
+// of the current stack ("the scheduler function called directly on top of
+// its stack", §IV-B). Returns false if no task was found.
+func (w *Worker) tryRunOneRtC(p *sim.Proc) bool {
+	if w.rt.done {
+		return false
+	}
+	if _, obj, ok := w.dq.Pop(p); ok {
+		w.runInline(p, obj.(*childTask))
+		return true
+	}
+	victim := w.pickVictim()
+	if victim == nil {
+		return false
+	}
+	start := p.Now()
+	if _, obj, ok := victim.dq.Steal(p, w.rank); ok {
+		ct := obj.(*childTask)
+		w.st.StealsOK++
+		w.st.StolenBytes += uint64(w.rt.cfg.ChildTaskBytes)
+		w.st.TaskCopyTime += w.rt.cfg.Machine.OneSided(w.rank, victim.rank, w.rt.cfg.ChildTaskBytes, false)
+		w.st.StealLatency += p.Now() - start
+		w.rt.traceEvent(TraceSteal, w.rank, ct.id, victim.rank, start)
+		w.runInline(p, ct)
+		return true
+	}
+	w.st.StealsFail++
+	return false
+}
+
+// runInline executes a child task as an ordinary nested function call and
+// completes its entry.
+func (w *Worker) runInline(p *sim.Proc, ct *childTask) {
+	rt := w.rt
+	w.rtcEnter()
+	rt.traceRunStart(w.rank, ct.id)
+	defer rt.traceRunEnd(w.rank)
+	c := &Ctx{rt: rt, w: w, p: p}
+	ret := ct.fn(c)
+	rt.putRetval(c, ct.hdl, ret)
+	rt.fab.PutInt64(p, w.rank, flagWord(ct.hdl.E), 1)
+	rt.joinCompleted(ct.hdl.E)
+	w.st.Tasks++
+	w.rtcExit()
+}

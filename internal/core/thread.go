@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contsteal/internal/deque"
+	"contsteal/internal/rdma"
+	"contsteal/internal/sim"
+	"contsteal/internal/uniaddr"
+)
+
+// threadState is the lifecycle of a user thread.
+type threadState int
+
+const (
+	tRunning   threadState = iota
+	tInDeque               // continuation parked in the owner's deque (stealable)
+	tSuspended             // suspended at a join (stack evacuated)
+	tDead
+)
+
+// Thread is one user task. For continuation-stealing policies every spawned
+// task is a Thread with a logical stack in the uni-address region; for
+// ChildFull every started task is a Thread with a private (non-uni) stack;
+// ChildRtC tasks are not Threads at all (they run inline on the worker).
+//
+// The thread's control state is its parked goroutine (a sim.Proc); its
+// migratable data state is the stack bytes managed through uniaddr. See
+// DESIGN.md §1.1.
+type Thread struct {
+	rt *Runtime
+	id int64
+
+	proc *sim.Proc
+	w    *Worker // current location; updated on migration
+
+	fn    TaskFunc
+	entry rdma.Loc // thread entry this task reports to (zero for the root)
+	hdl   Handle   // full handle (entry + consumer count)
+
+	stackAddr uniaddr.VAddr
+	stackSize int
+	state     threadState
+
+	// Evacuation state while suspended.
+	evacuated bool
+	evacRank  int
+	evacAddr  uniaddr.VAddr
+
+	// parentID identifies the spawner, to validate the greedy-die fast path.
+	parentID int64
+
+	// waitingOn is the entry this thread is suspended on (join accounting).
+	waitingOn rdma.Loc
+
+	// parked/pendingWake implement a race-free park/wake handshake: a
+	// resumer may complete (and call handoff) during the latency window
+	// between a thread making itself resumable and its proc actually
+	// parking. In that case the wake is recorded and park returns at once.
+	parked      bool
+	pendingWake bool
+
+	isChildTask bool // ChildFull task (tied; no uni-address stack)
+	isRoot      bool
+}
+
+// Worker is one simulated core: a scheduler proc plus the per-worker state
+// of the runtime (deque, wait queue, stack regions, allocator, RNG, stats).
+type Worker struct {
+	rt   *Runtime
+	rank int
+	proc *sim.Proc
+	dq   *deque.Deque
+	ua   *uniaddr.Manager
+	rng  *rand.Rand
+
+	// waitQ is the FIFO wait queue of threads suspended at stalling joins
+	// (§III-A1). The scheduler resumes them round-robin on failed steals.
+	waitQ []*Thread
+
+	current  *Thread
+	rtcDepth int // ChildRtC: nesting depth of inline task execution
+
+	rootTask TaskFunc
+	st       WorkerStats
+}
+
+// setCurrent tracks which thread occupies the worker and maintains the
+// busy-workers gauge for the Fig. 7 time series.
+func (w *Worker) setCurrent(t *Thread) {
+	if (w.current == nil) != (t == nil) {
+		if t != nil {
+			w.rt.busy++
+		} else {
+			w.rt.busy--
+		}
+	}
+	if w.rt.tr != nil {
+		if w.current != nil {
+			w.rt.traceRunEnd(w.rank)
+		}
+		if t != nil {
+			w.rt.traceRunStart(w.rank, t.id)
+		}
+	}
+	w.current = t
+}
+
+// rtcEnter/rtcExit maintain the busy gauge for inline (RtC) execution.
+func (w *Worker) rtcEnter() {
+	if w.rtcDepth == 0 {
+		w.rt.busy++
+	}
+	w.rtcDepth++
+}
+
+func (w *Worker) rtcExit() {
+	w.rtcDepth--
+	if w.rtcDepth == 0 {
+		w.rt.busy--
+	}
+}
+
+// handoff transfers the worker to thread t, which must be parked. The
+// caller (a dying/suspending thread's proc, or the scheduler) must park or
+// exit immediately after.
+func (w *Worker) handoff(t *Thread) {
+	t.w = w
+	t.state = tRunning
+	w.setCurrent(t)
+	if t.parked {
+		t.parked = false
+		w.rt.eng.Wake(t.proc)
+	} else {
+		// The thread has not reached its park yet (it is inside the small
+		// latency window after publishing itself); it will observe the
+		// pending wake and continue without parking.
+		t.pendingWake = true
+	}
+}
+
+// parkSelf suspends the thread's proc unless a resumer already claimed it
+// during the publish window.
+func (t *Thread) parkSelf(p *sim.Proc) {
+	if t.pendingWake {
+		t.pendingWake = false
+		return
+	}
+	t.parked = true
+	p.Park()
+}
+
+// toScheduler returns the worker to its scheduler loop. The caller must
+// park or exit immediately after.
+func (w *Worker) toScheduler() {
+	w.setCurrent(nil)
+	w.rt.eng.Wake(w.proc)
+}
+
+// newContThread creates (but does not yet start) a continuation-stealing
+// thread whose stack is placed immediately above the current top of w's
+// uni-address region (Fig. 2 step 1).
+func newContThread(w *Worker, fn TaskFunc, hdl Handle, parentID int64, isRoot bool) *Thread {
+	t := &Thread{
+		rt:        w.rt,
+		fn:        fn,
+		entry:     hdl.E,
+		hdl:       hdl,
+		stackSize: w.rt.cfg.StackBytes,
+		parentID:  parentID,
+		isRoot:    isRoot,
+		w:         w,
+	}
+	t.stackAddr = w.ua.PushStack(t.stackSize)
+	w.rt.register(t)
+	if w.rt.cfg.StackScheme == IsoAddress {
+		// Account the globally unique (never reused) virtual address this
+		// stack would occupy under iso-address. The backing remains the
+		// per-rank region; only the address-space consumption is modelled.
+		w.rt.isoNext += uint64(t.stackSize)
+		if w.rt.isoNext > w.rt.isoHigh {
+			w.rt.isoHigh = w.rt.isoNext
+		}
+	}
+	// Stamp the stack with identifiable content so migrations move real,
+	// checkable bytes (tests rely on this).
+	frame := w.ua.UniBytes(t.stackAddr, 16)
+	for i := range frame {
+		frame[i] = byte(t.id>>(8*(i%8))) ^ 0xA5
+	}
+	return t
+}
+
+// start launches the thread's proc at the current virtual time. The caller
+// must have made the thread current on its worker.
+func (t *Thread) start() {
+	t.state = tRunning
+	t.proc = t.rt.eng.Go(fmt.Sprintf("thread%d", t.id), t.main)
+}
+
+// main is the thread body: run the task function, then die according to the
+// policy.
+func (t *Thread) main(p *sim.Proc) {
+	c := &Ctx{rt: t.rt, t: t, p: p}
+	ret := t.fn(c)
+	t.rt.die(c, ret)
+}
+
+// evacuate moves the thread's stack to its worker's evacuation region
+// (Fig. 2 step 4) and records where it went. Under the iso-address scheme
+// stacks have globally unique addresses and are never evacuated: the stack
+// simply stays pinned where it is until resumed (possibly remotely).
+func (t *Thread) evacuate(p *sim.Proc) {
+	if t.evacuated || t.isChildTask || t.rt.cfg.StackScheme == IsoAddress {
+		return
+	}
+	w := t.w
+	t.evacAddr = w.ua.Evacuate(p, t.stackAddr, t.stackSize)
+	t.evacRank = w.rank
+	t.evacuated = true
+}
+
+// releaseStack frees whatever copy of the stack is current when the thread
+// dies.
+func (t *Thread) releaseStack() {
+	if t.isChildTask {
+		return
+	}
+	if t.evacuated {
+		t.rt.workers[t.evacRank].ua.FreeEvac(t.evacAddr, t.stackSize)
+		t.evacuated = false
+		return
+	}
+	t.w.ua.PopStack(t.stackAddr, t.stackSize)
+}
+
+// bringTo makes thread t's stack present on worker w, charging the
+// appropriate copy costs, and returns the time spent copying the payload
+// (the "task copy time" of Table II). Three cases:
+//
+//   - stack already on w (local pop of an in-place continuation): free;
+//   - stack in some rank's evacuation region: restore locally or migrate in;
+//   - stack live in another rank's uni region (stolen continuation): RDMA
+//     copy to the same virtual address here (Fig. 2 step 3).
+func (w *Worker) bringTo(p *sim.Proc, t *Thread) sim.Time {
+	if t.isChildTask {
+		return 0 // tied; never migrates — caller guarantees t.w == w
+	}
+	start := p.Now()
+	switch {
+	case t.evacuated && t.evacRank == w.rank:
+		if w.ua.Restore(p, t.evacAddr, t.stackAddr, t.stackSize) {
+			t.evacuated = false
+		} else {
+			// Address conflict: keep running from the evacuation copy (a
+			// simulator liberty; counted so experiments can check it is
+			// negligible).
+			w.st.StackConflict++
+		}
+	case t.evacuated: // remote evacuation region
+		victim := w.rt.workers[t.evacRank]
+		src := victim.ua.EvacLoc(t.evacAddr, t.stackSize)
+		if w.ua.MigrateIn(p, src, t.stackAddr, t.stackSize) {
+			victim.ua.FreeEvac(t.evacAddr, t.stackSize)
+			t.evacuated = false
+		} else {
+			// Conflict at the original address: move the copy into our own
+			// evacuation region instead.
+			w.st.StackConflict++
+			ev, ok := w.ua.Evac.Alloc(t.stackSize)
+			if !ok {
+				panic("core: evacuation region exhausted during migration")
+			}
+			w.rt.fab.Get(p, w.rank, src, w.ua.EvacBytes(ev, t.stackSize))
+			victim.ua.FreeEvac(t.evacAddr, t.stackSize)
+			t.evacRank, t.evacAddr = w.rank, ev
+		}
+		w.st.Migrations++
+	case t.w != w: // stolen in-deque continuation: stack live at the victim
+		victim := t.w
+		src := victim.ua.UniLoc(t.stackAddr, t.stackSize)
+		if w.ua.MigrateIn(p, src, t.stackAddr, t.stackSize) {
+			victim.ua.PopStack(t.stackAddr, t.stackSize)
+		} else {
+			// Address conflict. Under uni-address this cannot happen when
+			// the thief is idle (its region is empty); under iso-address
+			// suspended stacks stay in place, so a collision with our
+			// modelled (reused) backing addresses is possible. Copy into
+			// the evacuation region and run from there, as for remote
+			// resume conflicts.
+			w.st.StackConflict++
+			ev, ok := w.ua.Evac.Alloc(t.stackSize)
+			if !ok {
+				panic("core: evacuation region exhausted during stolen-stack fallback")
+			}
+			w.rt.fab.Get(p, w.rank, src, w.ua.EvacBytes(ev, t.stackSize))
+			victim.ua.PopStack(t.stackAddr, t.stackSize)
+			t.evacuated = true
+			t.evacRank, t.evacAddr = w.rank, ev
+		}
+		w.st.Migrations++
+	}
+	return p.Now() - start
+}
+
+// resume brings t's stack to w, charges a context switch, updates join
+// accounting, and hands the worker over to t. The caller must park or exit
+// immediately after. Returns the payload copy time for steal accounting.
+func (w *Worker) resume(p *sim.Proc, t *Thread) sim.Time {
+	migrated := t.w != w || (t.evacuated && t.evacRank != w.rank)
+	start := p.Now()
+	copyTime := w.bringTo(p, t)
+	p.Sleep(w.rt.cfg.Machine.CtxSwitch)
+	if t.waitingOn.Valid() {
+		w.rt.joinResumed(t.waitingOn)
+		t.waitingOn = rdma.Loc{}
+		w.rt.traceEvent(TraceResume, w.rank, t.id, -1, p.Now())
+	}
+	if migrated {
+		w.rt.traceEvent(TraceMigrate, w.rank, t.id, -1, start)
+	}
+	w.handoff(t)
+	return copyTime
+}

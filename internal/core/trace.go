@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"contsteal/internal/sim"
+)
+
+// Execution tracing: a per-run event log in the spirit of the profiling the
+// paper uses for Fig. 7 and Table II (and of DelaySpotter, its reference
+// [50] for attributing scheduler-caused delays). Enabled by Config.Trace;
+// events carry virtual timestamps and can be exported as Chrome trace
+// format (chrome://tracing, Perfetto) for visual inspection.
+
+// TraceEventKind classifies trace events.
+type TraceEventKind string
+
+// Trace event kinds.
+const (
+	TraceRun     TraceEventKind = "run"     // a task occupying a worker
+	TraceSteal   TraceEventKind = "steal"   // a successful steal (duration = latency)
+	TraceSuspend TraceEventKind = "suspend" // a join suspension (instant)
+	TraceResume  TraceEventKind = "resume"  // a suspended thread resuming (instant)
+	TraceMigrate TraceEventKind = "migrate" // a thread arriving from another rank (instant)
+)
+
+// TraceEvent is one recorded event. Dur is zero for instant events.
+type TraceEvent struct {
+	T    sim.Time       `json:"t"`
+	Dur  sim.Time       `json:"dur"`
+	Rank int            `json:"rank"`
+	Kind TraceEventKind `json:"kind"`
+	// Task identifies the thread/task involved (-1 when not applicable).
+	Task int64 `json:"task"`
+	// Peer is the other rank involved (steal victim, migration source;
+	// -1 when not applicable).
+	Peer int `json:"peer"`
+}
+
+// Trace is the recorded event log of a run.
+type Trace struct {
+	Workers int          `json:"workers"`
+	Events  []TraceEvent `json:"events"`
+}
+
+// traceState is the runtime-side recording state.
+type traceState struct {
+	events    []TraceEvent
+	busySince []sim.Time // per-rank start of the current run span
+	busyTask  []int64
+}
+
+func newTraceState(workers int) *traceState {
+	ts := &traceState{
+		busySince: make([]sim.Time, workers),
+		busyTask:  make([]int64, workers),
+	}
+	for i := range ts.busyTask {
+		ts.busyTask[i] = -1
+	}
+	return ts
+}
+
+func (rt *Runtime) traceRunStart(rank int, task int64) {
+	ts := rt.tr
+	if ts == nil {
+		return
+	}
+	ts.busySince[rank] = rt.eng.Now()
+	ts.busyTask[rank] = task
+}
+
+func (rt *Runtime) traceRunEnd(rank int) {
+	ts := rt.tr
+	if ts == nil || ts.busyTask[rank] < 0 {
+		return
+	}
+	ts.events = append(ts.events, TraceEvent{
+		T: ts.busySince[rank], Dur: rt.eng.Now() - ts.busySince[rank],
+		Rank: rank, Kind: TraceRun, Task: ts.busyTask[rank], Peer: -1,
+	})
+	ts.busyTask[rank] = -1
+}
+
+func (rt *Runtime) traceEvent(kind TraceEventKind, rank int, task int64, peer int, start sim.Time) {
+	ts := rt.tr
+	if ts == nil {
+		return
+	}
+	ts.events = append(ts.events, TraceEvent{
+		T: start, Dur: rt.eng.Now() - start, Rank: rank, Kind: kind, Task: task, Peer: peer,
+	})
+}
+
+// TraceLog returns the recorded trace (nil unless Config.Trace was set).
+func (rt *Runtime) TraceLog() *Trace {
+	if rt.tr == nil {
+		return nil
+	}
+	return &Trace{Workers: rt.cfg.Workers, Events: rt.tr.events}
+}
+
+// WriteJSON writes the raw trace as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// chromeEvent is one entry of the Chrome trace format ("traceEvents").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace format: one timeline
+// row per worker, complete ("X") spans for task execution and steals,
+// instant ("i") events for suspend/resume/migrate. Open the file in
+// chrome://tracing or https://ui.perfetto.dev.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{}
+	for _, e := range t.Events {
+		ce := chromeEvent{
+			Ts:  e.T.Micros(),
+			Pid: 0,
+			Tid: e.Rank,
+			Args: map[string]any{
+				"task": e.Task,
+			},
+		}
+		if e.Peer >= 0 {
+			ce.Args["peer"] = e.Peer
+		}
+		switch e.Kind {
+		case TraceRun:
+			ce.Name = fmt.Sprintf("task %d", e.Task)
+			ce.Ph = "X"
+			ce.Dur = e.Dur.Micros()
+		case TraceSteal:
+			ce.Name = fmt.Sprintf("steal from %d", e.Peer)
+			ce.Ph = "X"
+			ce.Dur = e.Dur.Micros()
+		default:
+			ce.Name = string(e.Kind)
+			ce.Ph = "i"
+			ce.Args["s"] = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// BusyTimePerRank integrates run-span durations per rank — a convenient
+// cross-check of the Fig. 7 busy gauge.
+func (t *Trace) BusyTimePerRank() []sim.Time {
+	busy := make([]sim.Time, t.Workers)
+	for _, e := range t.Events {
+		if e.Kind == TraceRun {
+			busy[e.Rank] += e.Dur
+		}
+	}
+	return busy
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceRecordsSpans(t *testing.T) {
+	for _, pol := range allPolicies {
+		cfg := testConfig(pol, 3)
+		cfg.Trace = true
+		rt := New(cfg)
+		_, st := rt.Run(fibTask(11))
+		tr := rt.TraceLog()
+		if tr == nil {
+			t.Fatalf("%v: no trace recorded", pol)
+		}
+		runs, steals := 0, 0
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case TraceRun:
+				runs++
+				if e.Dur < 0 || e.T < 0 || e.T+e.Dur > st.ExecTime {
+					t.Fatalf("%v: run span out of bounds: %+v (exec %v)", pol, e, st.ExecTime)
+				}
+			case TraceSteal:
+				steals++
+				if e.Peer < 0 || e.Peer >= 3 || e.Peer == e.Rank {
+					t.Fatalf("%v: steal with bad peer: %+v", pol, e)
+				}
+			}
+		}
+		if runs == 0 {
+			t.Errorf("%v: no run spans", pol)
+		}
+		if uint64(steals) != st.Work.StealsOK {
+			t.Errorf("%v: %d steal events, stats say %d", pol, steals, st.Work.StealsOK)
+		}
+	}
+}
+
+func TestTraceSpansDoNotOverlapPerRank(t *testing.T) {
+	cfg := testConfig(ContGreedy, 4)
+	cfg.Trace = true
+	rt := New(cfg)
+	_, _ = rt.Run(fibTask(12))
+	tr := rt.TraceLog()
+	type span struct{ s, e int64 }
+	perRank := make([][]span, 4)
+	for _, e := range tr.Events {
+		if e.Kind == TraceRun {
+			perRank[e.Rank] = append(perRank[e.Rank], span{int64(e.T), int64(e.T + e.Dur)})
+		}
+	}
+	for rank, spans := range perRank {
+		for i := 1; i < len(spans); i++ {
+			if spans[i].s < spans[i-1].e {
+				t.Fatalf("rank %d: overlapping run spans [%d,%d) and [%d,%d)",
+					rank, spans[i-1].s, spans[i-1].e, spans[i].s, spans[i].e)
+			}
+		}
+	}
+}
+
+func TestTraceBusyTimeMatchesStats(t *testing.T) {
+	// The integral of run spans must cover at least the computed busy time
+	// (spans also include runtime work inside tasks).
+	cfg := testConfig(ContGreedy, 2)
+	cfg.Trace = true
+	rt := New(cfg)
+	_, st := rt.Run(fibTask(12))
+	tr := rt.TraceLog()
+	var total int64
+	for _, b := range tr.BusyTimePerRank() {
+		total += int64(b)
+	}
+	if total < int64(st.Work.BusyTime) {
+		t.Errorf("trace busy %d < stats busy %d", total, int64(st.Work.BusyTime))
+	}
+}
+
+func TestTraceSuspendResumePairs(t *testing.T) {
+	// The forced-steal scenario suspends a join and resumes it: both events
+	// must appear in the trace.
+	cfg := testConfig(ContGreedy, 2)
+	cfg.Trace = true
+	rt := New(cfg)
+	_, _ = rt.Run(func(c *Ctx) []byte {
+		h := c.Spawn(func(c *Ctx) []byte {
+			c.Compute(200 * 1000)
+			return Int64Ret(5)
+		})
+		c.Compute(50 * 1000)
+		return Int64Ret(h.JoinInt64(c))
+	})
+	tr := rt.TraceLog()
+	suspends, resumes, migrates := 0, 0, 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case TraceSuspend:
+			suspends++
+		case TraceResume:
+			resumes++
+		case TraceMigrate:
+			migrates++
+		}
+	}
+	if suspends == 0 || resumes == 0 {
+		t.Errorf("suspend/resume not traced: %d/%d", suspends, resumes)
+	}
+	if migrates == 0 {
+		t.Error("no migration traced despite a forced steal")
+	}
+}
+
+func TestTraceJSONAndChromeExport(t *testing.T) {
+	cfg := testConfig(ContGreedy, 2)
+	cfg.Trace = true
+	rt := New(cfg)
+	_, _ = rt.Run(fibTask(8))
+	tr := rt.TraceLog()
+
+	var raw bytes.Buffer
+	if err := tr.WriteJSON(&raw); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Errorf("JSON round trip lost events: %d vs %d", len(back.Events), len(tr.Events))
+	}
+
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Error("chrome trace empty")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	rt := New(testConfig(ContGreedy, 2))
+	_, _ = rt.Run(fibTask(8))
+	if rt.TraceLog() != nil {
+		t.Error("trace recorded without Config.Trace")
+	}
+}

@@ -1,0 +1,356 @@
+package deque
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"contsteal/internal/rdma"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+const es = 16 // entry size used in tests
+
+func setup(ranks int) (*sim.Engine, *Deque) {
+	eng := sim.NewEngine()
+	fab := rdma.NewFabric(eng, topo.Uniform(1000), ranks, 1<<16)
+	return eng, New(fab, 0, 256, es)
+}
+
+func mk(v uint64) []byte {
+	b := make([]byte, es)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func rd(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func TestPushPopLIFO(t *testing.T) {
+	eng, d := setup(1)
+	eng.Go("owner", func(p *sim.Proc) {
+		for i := uint64(1); i <= 5; i++ {
+			d.Push(p, mk(i), int(i))
+		}
+		if d.Len() != 5 {
+			t.Errorf("Len = %d, want 5", d.Len())
+		}
+		for want := uint64(5); want >= 1; want-- {
+			e, obj, ok := d.Pop(p)
+			if !ok || rd(e) != want || obj.(int) != int(want) {
+				t.Fatalf("pop got (%v,%v,%v), want %d", rd(e), obj, ok, want)
+			}
+		}
+		if _, _, ok := d.Pop(p); ok {
+			t.Error("pop from empty deque succeeded")
+		}
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestStealFIFO(t *testing.T) {
+	eng, d := setup(2)
+	eng.Go("owner", func(p *sim.Proc) {
+		for i := uint64(1); i <= 3; i++ {
+			d.Push(p, mk(i), nil)
+		}
+	})
+	eng.GoAfter(10, "thief", func(p *sim.Proc) {
+		for want := uint64(1); want <= 3; want++ {
+			e, _, ok := d.Steal(p, 1)
+			if !ok || rd(e) != want {
+				t.Fatalf("steal got (%v,%v), want %d (oldest first)", rd(e), ok, want)
+			}
+		}
+		if _, _, ok := d.Steal(p, 1); ok {
+			t.Error("steal from empty deque succeeded")
+		}
+	})
+	eng.Run(sim.Forever)
+	if d.St.StealsOK != 3 || d.St.StealsEmpty != 1 {
+		t.Errorf("stats = %+v", d.St)
+	}
+}
+
+func TestStealCostsRemoteLatency(t *testing.T) {
+	eng, d := setup(2)
+	var dur sim.Time
+	eng.Go("owner", func(p *sim.Proc) { d.Push(p, mk(7), nil) })
+	eng.GoAfter(100, "thief", func(p *sim.Proc) {
+		start := p.Now()
+		if _, _, ok := d.Steal(p, 1); !ok {
+			t.Fatal("steal failed")
+		}
+		dur = p.Now() - start
+	})
+	eng.Run(sim.Forever)
+	// Protocol: empty-check get + lock CAS + recheck get + entry get +
+	// top put + unlock put = 6 remote ops at 1000ns each.
+	if dur != 6000 {
+		t.Errorf("successful steal took %v, want 6000ns (6 ops)", dur)
+	}
+}
+
+func TestFailedStealIsCheap(t *testing.T) {
+	eng, d := setup(2)
+	var dur sim.Time
+	eng.Go("thief", func(p *sim.Proc) {
+		start := p.Now()
+		if _, _, ok := d.Steal(p, 1); ok {
+			t.Fatal("steal from empty deque succeeded")
+		}
+		dur = p.Now() - start
+	})
+	eng.Run(sim.Forever)
+	if dur != 1000 {
+		t.Errorf("failed steal took %v, want 1000ns (1 op)", dur)
+	}
+}
+
+func TestOwnerThiefRaceOnLastEntry(t *testing.T) {
+	// The classic THE hazard: one entry, owner pops while a thief is
+	// mid-steal. Exactly one of them must win.
+	for delay := sim.Time(0); delay < 8000; delay += 250 {
+		eng, d := setup(2)
+		wins := 0
+		eng.Go("owner", func(p *sim.Proc) {
+			d.Push(p, mk(99), nil)
+			p.Sleep(delay)
+			if _, _, ok := d.Pop(p); ok {
+				wins++
+			}
+		})
+		eng.Go("thief", func(p *sim.Proc) {
+			if _, _, ok := d.Steal(p, 1); ok {
+				wins++
+			}
+		})
+		eng.Run(sim.Forever)
+		if wins != 1 {
+			t.Fatalf("delay %v: %d winners for 1 entry", delay, wins)
+		}
+	}
+}
+
+func TestTwoThievesOneEntry(t *testing.T) {
+	for delay := sim.Time(0); delay < 4000; delay += 100 {
+		eng, d := setup(3)
+		wins := 0
+		eng.Go("owner", func(p *sim.Proc) { d.Push(p, mk(1), nil) })
+		for r := 1; r <= 2; r++ {
+			r := r
+			eng.GoAfter(sim.Time(r-1)*delay+10, "thief", func(p *sim.Proc) {
+				if _, _, ok := d.Steal(p, r); ok {
+					wins++
+				}
+			})
+		}
+		eng.Run(sim.Forever)
+		if wins != 1 {
+			t.Fatalf("delay %v: %d winners for 1 entry", delay, wins)
+		}
+	}
+}
+
+func TestInterleavedOwnerAndThievesProperty(t *testing.T) {
+	// Property: under any interleaving of owner pushes/pops and thief
+	// steals, every pushed value is consumed exactly once, pops are LIFO-
+	// consistent and steals FIFO-consistent.
+	check := func(script []uint8) bool {
+		eng, d := setup(3)
+		consumed := make(map[uint64]int)
+		pushed := 0
+		eng.Go("owner", func(p *sim.Proc) {
+			v := uint64(0)
+			for _, op := range script {
+				if op%2 == 0 {
+					v++
+					d.Push(p, mk(v), nil)
+					pushed++
+				} else if e, _, ok := d.Pop(p); ok {
+					consumed[rd(e)]++
+				}
+				p.Sleep(sim.Time(op % 7 * 100))
+			}
+		})
+		for r := 1; r <= 2; r++ {
+			r := r
+			eng.Go("thief", func(p *sim.Proc) {
+				for i := 0; i < len(script); i++ {
+					p.Sleep(sim.Time(r * 531))
+					if e, _, ok := d.Steal(p, r); ok {
+						consumed[rd(e)]++
+					}
+				}
+			})
+		}
+		eng.Run(sim.Forever)
+		// Drain the rest.
+		eng2 := eng
+		_ = eng2
+		total := 0
+		for v, n := range consumed {
+			if n != 1 || v == 0 {
+				return false
+			}
+			total++
+		}
+		return total+d.Len() == pushed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPushOverflowPanics(t *testing.T) {
+	eng, d := setup(1)
+	eng.Go("owner", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("deque overflow did not panic")
+			}
+		}()
+		for i := 0; i < 300; i++ {
+			d.Push(p, mk(uint64(i)), nil)
+		}
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestWrongEntrySizePanics(t *testing.T) {
+	eng, d := setup(1)
+	eng.Go("owner", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong entry size did not panic")
+			}
+		}()
+		d.Push(p, make([]byte, es+1), nil)
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestSlotReuseAfterWrap(t *testing.T) {
+	// Push/pop far more entries than capacity; positions wrap the ring.
+	eng, d := setup(1)
+	eng.Go("owner", func(p *sim.Proc) {
+		for i := uint64(0); i < 2000; i++ {
+			d.Push(p, mk(i), nil)
+			e, _, ok := d.Pop(p)
+			if !ok || rd(e) != i {
+				t.Fatalf("wrap iteration %d: got (%v,%v)", i, rd(e), ok)
+			}
+		}
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestPushTopRunsLast(t *testing.T) {
+	// A PushTop entry is behind all bottom-pushed work for the owner...
+	eng, d := setup(1)
+	eng.Go("owner", func(p *sim.Proc) {
+		d.Push(p, mk(1), nil)
+		d.Push(p, mk(2), nil)
+		d.PushTop(p, mk(99), nil)
+		var got []uint64
+		for {
+			e, _, ok := d.Pop(p)
+			if !ok {
+				break
+			}
+			got = append(got, rd(e))
+		}
+		want := []uint64{2, 1, 99}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pop order %v, want %v", got, want)
+			}
+		}
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestPushTopStolenFirst(t *testing.T) {
+	// ...and in front of everything for thieves.
+	eng, d := setup(2)
+	eng.Go("owner", func(p *sim.Proc) {
+		d.Push(p, mk(1), nil)
+		d.PushTop(p, mk(99), nil)
+	})
+	eng.GoAfter(10, "thief", func(p *sim.Proc) {
+		e, _, ok := d.Steal(p, 1)
+		if !ok || rd(e) != 99 {
+			t.Errorf("thief got %v/%v, want the yielded entry 99", rd(e), ok)
+		}
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestPushTopNegativePositionsWrapCorrectly(t *testing.T) {
+	// Repeated PushTop drives the top position negative; the ring indexing
+	// must stay consistent.
+	eng, d := setup(1)
+	eng.Go("owner", func(p *sim.Proc) {
+		for i := uint64(1); i <= 100; i++ {
+			d.PushTop(p, mk(i), nil)
+		}
+		// FIFO end holds the most recent PushTop; owner pops the oldest.
+		for want := uint64(1); want <= 100; want++ {
+			e, _, ok := d.Pop(p)
+			if !ok || rd(e) != want {
+				t.Fatalf("pop got (%v,%v), want %d", rd(e), ok, want)
+			}
+		}
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestMixedEndsProperty(t *testing.T) {
+	// Random mixes of Push, PushTop, Pop and Steal never lose or duplicate
+	// an entry.
+	check := func(script []uint8) bool {
+		eng, d := setup(2)
+		consumed := map[uint64]int{}
+		pushed := 0
+		eng.Go("owner", func(p *sim.Proc) {
+			v := uint64(0)
+			for _, op := range script {
+				switch op % 4 {
+				case 0:
+					v++
+					d.Push(p, mk(v), nil)
+					pushed++
+				case 1:
+					v++
+					d.PushTop(p, mk(v), nil)
+					pushed++
+				default:
+					if e, _, ok := d.Pop(p); ok {
+						consumed[rd(e)]++
+					}
+				}
+				p.Sleep(sim.Time(op%5) * 100)
+			}
+		})
+		eng.Go("thief", func(p *sim.Proc) {
+			for range script {
+				p.Sleep(700)
+				if e, _, ok := d.Steal(p, 1); ok {
+					consumed[rd(e)]++
+				}
+			}
+		})
+		eng.Run(sim.Forever)
+		total := 0
+		for v, n := range consumed {
+			if n != 1 || v == 0 {
+				return false
+			}
+			total++
+		}
+		return total+d.Len() == pushed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package msg provides a two-sided (message-based) communication layer over
+// the discrete-event engine, used by the baseline runtimes that the paper
+// compares against (Charm++-like message-driven scheduling and X10/GLB-like
+// lifeline work stealing).
+//
+// Unlike the one-sided fabric, a message requires the *receiver's*
+// cooperation: it sits in the destination mailbox until the receiving
+// worker polls, which is exactly the structural disadvantage of two-sided
+// work stealing that §I and §V-C discuss ("frequent interruptions to the
+// victim processors").
+package msg
+
+import (
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// SoftwareOverhead is the per-message software cost (matching engine,
+// handler dispatch) added on top of the wire latency, charged to the
+// receiver when it handles the message.
+const SoftwareOverhead = 800 * sim.Nanosecond
+
+// InjectCost is the sender-side cost of posting a message.
+const InjectCost = 300 * sim.Nanosecond
+
+// Msg is one application message.
+type Msg struct {
+	From int
+	Kind int
+	A, B int64  // small scalar payload
+	Data []byte // optional bulk payload (counted in wire size)
+}
+
+// Stats counts message-layer events per rank.
+type Stats struct {
+	Sent, Received uint64
+	BytesSent      uint64
+}
+
+// Net is a simulated two-sided network between P ranks.
+type Net struct {
+	Eng   *sim.Engine
+	Mach  *topo.Machine
+	boxes [][]Msg
+	st    []Stats
+}
+
+// New creates a network with nranks mailboxes.
+func New(eng *sim.Engine, mach *topo.Machine, nranks int) *Net {
+	return &Net{
+		Eng:   eng,
+		Mach:  mach,
+		boxes: make([][]Msg, nranks),
+		st:    make([]Stats, nranks),
+	}
+}
+
+// Send posts m from rank `from` to rank `to`. The sender pays only the
+// injection cost (eager send); the message lands in the destination
+// mailbox after the wire latency.
+func (n *Net) Send(p *sim.Proc, from, to int, m Msg) {
+	m.From = from
+	size := 16 + len(m.Data)
+	n.st[from].Sent++
+	n.st[from].BytesSent += uint64(size)
+	delay := n.Mach.OneSided(from, to, size, false)
+	n.Eng.After(delay, func() {
+		n.boxes[to] = append(n.boxes[to], m)
+	})
+	p.Sleep(InjectCost)
+}
+
+// Poll removes and returns the oldest pending message for rank, charging
+// the receive-side software overhead. ok is false when the mailbox is
+// empty (a cheap local check).
+func (n *Net) Poll(p *sim.Proc, rank int) (Msg, bool) {
+	if len(n.boxes[rank]) == 0 {
+		p.Sleep(n.Mach.LocalOp)
+		return Msg{}, false
+	}
+	m := n.boxes[rank][0]
+	n.boxes[rank] = n.boxes[rank][1:]
+	n.st[rank].Received++
+	p.Sleep(SoftwareOverhead)
+	return m, true
+}
+
+// Pending returns the number of queued messages for rank without cost.
+func (n *Net) Pending(rank int) int { return len(n.boxes[rank]) }
+
+// Stats returns rank's counters.
+func (n *Net) Stats(rank int) Stats { return n.st[rank] }
+
+// TotalStats aggregates counters over all ranks.
+func (n *Net) TotalStats() Stats {
+	var t Stats
+	for _, s := range n.st {
+		t.Sent += s.Sent
+		t.Received += s.Received
+		t.BytesSent += s.BytesSent
+	}
+	return t
+}

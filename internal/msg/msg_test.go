@@ -1,0 +1,133 @@
+package msg
+
+import (
+	"testing"
+
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+func setup(lat sim.Time, ranks int) (*sim.Engine, *Net) {
+	eng := sim.NewEngine()
+	return eng, New(eng, topo.Uniform(lat), ranks)
+}
+
+func TestSendPollRoundTrip(t *testing.T) {
+	eng, n := setup(5*sim.Microsecond, 2)
+	var got Msg
+	var when sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		for {
+			m, ok := n.Poll(p, 1)
+			if ok {
+				got, when = m, p.Now()
+				return
+			}
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		n.Send(p, 0, 1, Msg{Kind: 7, A: 42, Data: []byte("payload")})
+	})
+	eng.Run(sim.Forever)
+	if got.Kind != 7 || got.A != 42 || string(got.Data) != "payload" || got.From != 0 {
+		t.Errorf("received %+v", got)
+	}
+	// Delivery takes at least the wire latency plus receiver overhead.
+	if when < 5*sim.Microsecond {
+		t.Errorf("message received at %v, before wire latency elapsed", when)
+	}
+}
+
+func TestSenderPaysOnlyInjection(t *testing.T) {
+	eng, n := setup(50*sim.Microsecond, 2)
+	var sendCost sim.Time
+	eng.Go("send", func(p *sim.Proc) {
+		start := p.Now()
+		n.Send(p, 0, 1, Msg{Kind: 1})
+		sendCost = p.Now() - start
+	})
+	eng.Run(sim.Forever)
+	if sendCost != InjectCost {
+		t.Errorf("send blocked for %v, want inject cost %v (eager send)", sendCost, InjectCost)
+	}
+}
+
+func TestFIFOPerMailbox(t *testing.T) {
+	eng, n := setup(1000, 2)
+	var order []int64
+	eng.Go("send", func(p *sim.Proc) {
+		for i := int64(0); i < 5; i++ {
+			n.Send(p, 0, 1, Msg{Kind: 1, A: i})
+		}
+	})
+	eng.GoAfter(100*sim.Microsecond, "recv", func(p *sim.Proc) {
+		for {
+			m, ok := n.Poll(p, 1)
+			if !ok {
+				return
+			}
+			order = append(order, m.A)
+		}
+	})
+	eng.Run(sim.Forever)
+	if len(order) != 5 {
+		t.Fatalf("received %d messages, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != int64(i) {
+			t.Fatalf("out of order: %v", order)
+		}
+	}
+}
+
+func TestPollEmptyIsCheapAndFalse(t *testing.T) {
+	eng, n := setup(1000, 1)
+	eng.Go("recv", func(p *sim.Proc) {
+		if _, ok := n.Poll(p, 0); ok {
+			t.Error("poll of empty mailbox returned a message")
+		}
+	})
+	eng.Run(sim.Forever)
+	if n.Pending(0) != 0 {
+		t.Error("phantom pending message")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	eng, n := setup(1000, 3)
+	eng.Go("send", func(p *sim.Proc) {
+		n.Send(p, 0, 1, Msg{Kind: 1, Data: make([]byte, 100)})
+		n.Send(p, 0, 2, Msg{Kind: 1})
+	})
+	eng.GoAfter(10*sim.Microsecond, "recv", func(p *sim.Proc) {
+		n.Poll(p, 1)
+		n.Poll(p, 2)
+	})
+	eng.Run(sim.Forever)
+	st := n.Stats(0)
+	if st.Sent != 2 || st.BytesSent != 116+16 {
+		t.Errorf("sender stats = %+v", st)
+	}
+	total := n.TotalStats()
+	if total.Received != 2 {
+		t.Errorf("total received = %d, want 2", total.Received)
+	}
+}
+
+func TestReceiverOverheadCharged(t *testing.T) {
+	eng, n := setup(1000, 2)
+	var pollCost sim.Time
+	eng.Go("send", func(p *sim.Proc) { n.Send(p, 0, 1, Msg{Kind: 1}) })
+	eng.GoAfter(10*sim.Microsecond, "recv", func(p *sim.Proc) {
+		start := p.Now()
+		if _, ok := n.Poll(p, 1); !ok {
+			t.Error("message not delivered")
+		}
+		pollCost = p.Now() - start
+	})
+	eng.Run(sim.Forever)
+	if pollCost != SoftwareOverhead {
+		t.Errorf("poll cost %v, want handler overhead %v", pollCost, SoftwareOverhead)
+	}
+}

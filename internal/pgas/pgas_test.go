@@ -1,0 +1,219 @@
+package pgas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"contsteal/internal/core"
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+func testRT(workers int) *core.Runtime {
+	return core.New(core.Config{
+		Machine:    topo.Uniform(1000),
+		Workers:    workers,
+		Policy:     core.ContGreedy,
+		RemoteFree: remobj.LocalCollection,
+		Seed:       3,
+		MaxTime:    60 * sim.Second,
+	})
+}
+
+func TestDistributionArithmetic(t *testing.T) {
+	rt := testRT(4)
+	a := NewInt64Array(rt, 10) // blockElems = 3: [0,3) [3,6) [6,9) [9,10)
+	cases := []struct{ i, owner int }{{0, 0}, {2, 0}, {3, 1}, {8, 2}, {9, 3}}
+	for _, c := range cases {
+		if got := a.OwnerOf(c.i); got != c.owner {
+			t.Errorf("OwnerOf(%d) = %d, want %d", c.i, got, c.owner)
+		}
+	}
+	lo, hi := a.LocalRange(3)
+	if lo != 9 || hi != 10 {
+		t.Errorf("LocalRange(3) = [%d,%d), want [9,10)", lo, hi)
+	}
+	lo, hi = a.LocalRange(1)
+	if lo != 3 || hi != 6 {
+		t.Errorf("LocalRange(1) = [%d,%d), want [3,6)", lo, hi)
+	}
+	// A rank beyond the data owns an empty range.
+	rt2 := testRT(8)
+	b := NewInt64Array(rt2, 4)
+	if lo, hi := b.LocalRange(7); lo != hi {
+		t.Errorf("overhang rank range = [%d,%d), want empty", lo, hi)
+	}
+	rt.Engine().Shutdown()
+	rt2.Engine().Shutdown()
+}
+
+func TestSetGetAcrossRanks(t *testing.T) {
+	rt := testRT(4)
+	a := NewInt64Array(rt, 64)
+	_, _ = rt.Run(func(c *core.Ctx) []byte {
+		for i := 0; i < 64; i++ {
+			a.Set(c, i, int64(i*i))
+		}
+		for i := 0; i < 64; i++ {
+			if got := a.Get(c, i); got != int64(i*i) {
+				t.Errorf("a[%d] = %d, want %d", i, got, i*i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestLocalAccessIsFree(t *testing.T) {
+	rt := testRT(4)
+	a := NewInt64Array(rt, 64)
+	_, _ = rt.Run(func(c *core.Ctx) []byte {
+		_, rank := c.Access()
+		lo, _ := a.LocalRange(rank)
+		start := c.Now()
+		a.Set(c, lo, 42)
+		if d := c.Now() - start; d != 0 {
+			t.Errorf("local write took %v, want 0", d)
+		}
+		start = c.Now()
+		a.Set(c, a.Len()-1, 7) // remote (owned by the last rank)
+		if d := c.Now() - start; d == 0 {
+			t.Error("remote write took no time")
+		}
+		return nil
+	})
+}
+
+func TestRangeOpsCoalescePerRank(t *testing.T) {
+	rt := testRT(4)
+	a := NewInt64Array(rt, 64) // 16 elements per rank
+	_, _ = rt.Run(func(c *core.Ctx) []byte {
+		vs := make([]int64, 64)
+		for i := range vs {
+			vs[i] = int64(1000 + i)
+		}
+		start := c.Now()
+		a.SetRange(c, 0, vs)
+		writeTime := c.Now() - start
+		// Rank 0 writes 64 elements spanning 4 ranks: one op is local, so
+		// exactly 3 remote puts at 1000ns each.
+		if writeTime != 3000 {
+			t.Errorf("full-range write took %v, want 3000ns (3 remote puts)", writeTime)
+		}
+		got := a.GetRange(c, 0, 64)
+		for i, v := range got {
+			if v != vs[i] {
+				t.Fatalf("range read a[%d] = %d, want %d", i, v, vs[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestRangeCrossingBlockBoundary(t *testing.T) {
+	rt := testRT(4)
+	a := NewInt64Array(rt, 40) // 10 per rank
+	_, _ = rt.Run(func(c *core.Ctx) []byte {
+		a.SetRange(c, 8, []int64{1, 2, 3, 4}) // spans ranks 0 and 1
+		if got := a.GetRange(c, 8, 12); got[0] != 1 || got[3] != 4 {
+			t.Errorf("boundary range = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestFetchAddAtomic(t *testing.T) {
+	rt := testRT(4)
+	a := NewInt64Array(rt, 8)
+	_, _ = rt.Run(func(c *core.Ctx) []byte {
+		var hs []core.Handle
+		for w := 0; w < 6; w++ {
+			hs = append(hs, c.Spawn(func(c *core.Ctx) []byte {
+				c.Compute(sim.Time(1000))
+				a.FetchAdd(c, 5, 1)
+				return nil
+			}))
+		}
+		for _, h := range hs {
+			h.Join(c)
+		}
+		if got := a.Get(c, 5); got != 6 {
+			t.Errorf("counter = %d, want 6", got)
+		}
+		return nil
+	})
+}
+
+func TestGlobalArraySurvivesMigration(t *testing.T) {
+	// A stolen task keeps using the same global indices — location
+	// transparency under migration.
+	rt := testRT(2)
+	a := NewInt64Array(rt, 16)
+	_, st := rt.Run(func(c *core.Ctx) []byte {
+		h := c.Spawn(func(c *core.Ctx) []byte {
+			c.Compute(100 * 1000)
+			a.Set(c, 3, 33)
+			return nil
+		})
+		// Continuation likely stolen by worker 1; the write below goes to
+		// the same global element regardless of where we now run.
+		c.Compute(10 * 1000)
+		a.Set(c, 4, 44)
+		h.Join(c)
+		if a.Get(c, 3) != 33 || a.Get(c, 4) != 44 {
+			t.Error("global elements lost after migration")
+		}
+		return nil
+	})
+	_ = st
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	check := func(vals []int64, ranks uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 100 {
+			vals = vals[:100]
+		}
+		rt := testRT(int(ranks%7) + 1)
+		a := NewInt64Array(rt, len(vals))
+		ok := true
+		_, _ = rt.Run(func(c *core.Ctx) []byte {
+			a.SetRange(c, 0, vals)
+			got := a.GetRange(c, 0, len(vals))
+			for i := range vals {
+				if got[i] != vals[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	rt := testRT(2)
+	a := NewInt64Array(rt, 8)
+	_, _ = rt.Run(func(c *core.Ctx) []byte {
+		for _, f := range []func(){
+			func() { a.Get(c, 8) },
+			func() { a.Get(c, -1) },
+			func() { a.GetRange(c, 4, 12) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("out-of-bounds access did not panic")
+					}
+				}()
+				f()
+			}()
+		}
+		return nil
+	})
+}

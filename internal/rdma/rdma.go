@@ -1,0 +1,390 @@
+// Package rdma simulates a one-sided (RDMA) communication fabric over the
+// discrete-event engine. It provides exactly the primitives the paper's
+// algorithms are written against: remote get, remote put, and remote atomic
+// fetch-and-add / compare-and-swap on 8-byte words, plus per-rank registered
+// memory segments with a local allocator.
+//
+// Every rank (simulated process, one per core) owns a Segment: a flat byte
+// array standing in for its pinned, RDMA-registered memory. A Loc names a
+// remote variable by (rank, address, size), mirroring the paper's
+// "location" notion (§III-A: "the worker ID of the owner, the virtual
+// address, and the size").
+//
+// Timing: an operation issued by rank F against rank T sleeps for the
+// machine model's one-sided latency (intra- vs inter-node, plus payload
+// transfer time and an atomic surcharge) and then performs the memory
+// access, so operations from different workers interleave in completion
+// order — the property the THE protocol and the greedy-join race depend on.
+// Operations by a rank on its own segment are free of network latency (the
+// caller charges local costs separately).
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// Addr is an offset within a rank's registered segment. Address 0 is
+// reserved (never allocated) so that the zero Loc is recognizably invalid.
+type Addr uint64
+
+// Loc names a remote variable: the owning rank, the address within that
+// rank's segment, and the size in bytes.
+type Loc struct {
+	Rank int32
+	Addr Addr
+	Size int32
+}
+
+// Valid reports whether the Loc names an allocated object (non-zero addr).
+func (l Loc) Valid() bool { return l.Addr != 0 }
+
+func (l Loc) String() string {
+	return fmt.Sprintf("r%d:0x%x+%d", l.Rank, uint64(l.Addr), l.Size)
+}
+
+// LocSize is the wire size of an encoded Loc (rank, addr, size).
+const LocSize = 16
+
+// EncodeLoc serializes l into buf (at least LocSize bytes).
+func EncodeLoc(buf []byte, l Loc) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(l.Rank))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(l.Addr))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(l.Size))
+}
+
+// DecodeLoc deserializes a Loc from buf.
+func DecodeLoc(buf []byte) Loc {
+	return Loc{
+		Rank: int32(binary.LittleEndian.Uint32(buf[0:])),
+		Addr: Addr(binary.LittleEndian.Uint64(buf[4:])),
+		Size: int32(binary.LittleEndian.Uint32(buf[12:])),
+	}
+}
+
+// OpStats counts fabric operations issued by one rank.
+type OpStats struct {
+	Gets, Puts, Atomics uint64 // remote operations issued
+	LocalOps            uint64 // same-rank fabric accesses
+	BytesOut, BytesIn   uint64 // payload bytes moved by remote ops
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	s.Gets += other.Gets
+	s.Puts += other.Puts
+	s.Atomics += other.Atomics
+	s.LocalOps += other.LocalOps
+	s.BytesOut += other.BytesOut
+	s.BytesIn += other.BytesIn
+}
+
+// Fabric is the simulated RDMA network connecting P ranks.
+type Fabric struct {
+	Eng  *sim.Engine
+	Mach *topo.Machine
+	segs []*Segment
+	st   []OpStats
+}
+
+// NewFabric creates a fabric with nranks ranks, each owning a segment that
+// starts at segSize bytes and grows on demand.
+func NewFabric(eng *sim.Engine, mach *topo.Machine, nranks, segSize int) *Fabric {
+	f := &Fabric{
+		Eng:  eng,
+		Mach: mach,
+		segs: make([]*Segment, nranks),
+		st:   make([]OpStats, nranks),
+	}
+	for i := range f.segs {
+		f.segs[i] = newSegment(segSize)
+	}
+	return f
+}
+
+// Ranks returns the number of ranks.
+func (f *Fabric) Ranks() int { return len(f.segs) }
+
+// Seg returns rank's segment for direct local access (no simulated cost).
+func (f *Fabric) Seg(rank int) *Segment { return f.segs[rank] }
+
+// Stats returns the operation counters for one rank.
+func (f *Fabric) Stats(rank int) OpStats { return f.st[rank] }
+
+// TotalStats returns counters aggregated over all ranks.
+func (f *Fabric) TotalStats() OpStats {
+	var t OpStats
+	for i := range f.st {
+		t.Add(f.st[i])
+	}
+	return t
+}
+
+// Alloc allocates size bytes in rank's segment and returns the address.
+// Allocation is a local operation performed by the owner; the simulated
+// cost (Machine.AllocCost) is charged by the caller, not here.
+func (f *Fabric) Alloc(rank, size int) Addr { return f.segs[rank].alloc(size) }
+
+// AllocStatic allocates size bytes in rank's *static zone*: a separate,
+// never-freed address range (at StaticBase and up) intended for large
+// fixed structures (queues, stack regions). Keeping them out of the
+// dynamic zone means small-object churn never forces the backing of the
+// big reservations to be committed.
+func (f *Fabric) AllocStatic(rank, size int) Addr { return f.segs[rank].allocStatic(size) }
+
+// Free returns a block previously obtained from Alloc to rank's free list.
+func (f *Fabric) Free(rank int, addr Addr, size int) { f.segs[rank].free(addr, size) }
+
+// latency sleeps p for the duration of a one-sided op and counts it.
+func (f *Fabric) latency(p *sim.Proc, from int, to int32, size int, atomic bool) bool {
+	if int32(from) == to {
+		f.st[from].LocalOps++
+		return false // no network latency for self-access
+	}
+	p.Sleep(f.Mach.OneSided(from, int(to), size, atomic))
+	return true
+}
+
+// Get copies the remote variable at loc into dst (len(dst) bytes, at most
+// loc.Size), as issued by rank from. This is the paper's "get v <- L".
+func (f *Fabric) Get(p *sim.Proc, from int, loc Loc, dst []byte) {
+	if int32(len(dst)) > loc.Size {
+		panic(fmt.Sprintf("rdma: get of %d bytes from %v", len(dst), loc))
+	}
+	if f.latency(p, from, loc.Rank, len(dst), false) {
+		f.st[from].Gets++
+		f.st[from].BytesIn += uint64(len(dst))
+	}
+	copy(dst, f.segs[loc.Rank].bytes(loc.Addr, len(dst)))
+}
+
+// Put copies src into the remote variable at loc, as issued by rank from.
+// This is the paper's "put L <- v". The memory becomes visible at the
+// operation's completion time.
+func (f *Fabric) Put(p *sim.Proc, from int, loc Loc, src []byte) {
+	if int32(len(src)) > loc.Size {
+		panic(fmt.Sprintf("rdma: put of %d bytes to %v", len(src), loc))
+	}
+	if f.latency(p, from, loc.Rank, len(src), false) {
+		f.st[from].Puts++
+		f.st[from].BytesOut += uint64(len(src))
+	}
+	copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
+}
+
+// InjectCost is the local overhead of posting a nonblocking operation to
+// the NIC without waiting for its completion.
+const InjectCost = 200 * sim.Nanosecond
+
+// PutAsync issues a nonblocking put: the issuer is charged only a small
+// injection cost, and the remote memory is updated after the one-sided
+// latency has elapsed, without the issuer waiting for it. This models the
+// paper's nonblocking remote free-bit write (§III-B).
+func (f *Fabric) PutAsync(p *sim.Proc, from int, loc Loc, src []byte) {
+	if int32(len(src)) > loc.Size {
+		panic(fmt.Sprintf("rdma: put of %d bytes to %v", len(src), loc))
+	}
+	if int32(from) == loc.Rank {
+		f.st[from].LocalOps++
+		copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
+		return
+	}
+	f.st[from].Puts++
+	f.st[from].BytesOut += uint64(len(src))
+	data := append([]byte(nil), src...)
+	delay := f.Mach.OneSided(from, int(loc.Rank), len(src), false)
+	f.Eng.After(delay, func() {
+		copy(f.segs[loc.Rank].bytes(loc.Addr, len(data)), data)
+	})
+	p.Sleep(InjectCost)
+}
+
+// GetInt64 reads an 8-byte little-endian word at loc.
+func (f *Fabric) GetInt64(p *sim.Proc, from int, loc Loc) int64 {
+	var buf [8]byte
+	f.Get(p, from, Loc{Rank: loc.Rank, Addr: loc.Addr, Size: 8}, buf[:])
+	return int64(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// PutInt64 writes an 8-byte little-endian word at loc.
+func (f *Fabric) PutInt64(p *sim.Proc, from int, loc Loc, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	f.Put(p, from, Loc{Rank: loc.Rank, Addr: loc.Addr, Size: 8}, buf[:])
+}
+
+// FetchAdd atomically adds delta to the 8-byte word at loc and returns the
+// value it held before the addition ("fetch_and_add(L, v)"). The
+// read-modify-write is applied atomically at completion time; because the
+// simulation is sequential, no other operation can interleave with it.
+func (f *Fabric) FetchAdd(p *sim.Proc, from int, loc Loc, delta int64) int64 {
+	if f.latency(p, from, loc.Rank, 8, true) {
+		f.st[from].Atomics++
+	}
+	b := f.segs[loc.Rank].bytes(loc.Addr, 8)
+	old := int64(binary.LittleEndian.Uint64(b))
+	binary.LittleEndian.PutUint64(b, uint64(old+delta))
+	return old
+}
+
+// CAS atomically compares the 8-byte word at loc with old and, if equal,
+// replaces it with new. It returns the observed value (== old on success).
+func (f *Fabric) CAS(p *sim.Proc, from int, loc Loc, old, new int64) int64 {
+	if f.latency(p, from, loc.Rank, 8, true) {
+		f.st[from].Atomics++
+	}
+	b := f.segs[loc.Rank].bytes(loc.Addr, 8)
+	cur := int64(binary.LittleEndian.Uint64(b))
+	if cur == old {
+		binary.LittleEndian.PutUint64(b, uint64(new))
+	}
+	return cur
+}
+
+// Segment is one rank's registered memory: a flat, growable byte array with
+// a simple size-bucketed free-list allocator on top. All Segment methods are
+// zero-cost in simulated time; they model the owner touching its own pinned
+// memory.
+type Segment struct {
+	mem   []byte
+	bump  Addr
+	pools map[int][]Addr // size -> free addresses (exact-size reuse)
+	used  uint64         // bytes currently allocated
+	high  uint64         // high-water mark of allocated bytes
+
+	// Static zone: bump-only allocations at StaticBase and above, with its
+	// own lazily grown backing.
+	smem  []byte
+	sbump Addr
+}
+
+// StaticBase is the first address of the static zone. Dynamic addresses
+// are always far below it.
+const StaticBase Addr = 1 << 40
+
+func newSegment(size int) *Segment {
+	if size < 64 {
+		size = 64
+	}
+	// Backing starts small regardless of the declared size and grows
+	// lazily on first touch (bytes), so simulations with very many ranks
+	// pay host memory only for what each rank actually uses.
+	if size > 4*1024 {
+		size = 4 * 1024
+	}
+	return &Segment{
+		mem:   make([]byte, size),
+		bump:  8, // keep address 0..7 unused so Addr 0 is invalid
+		pools: make(map[int][]Addr),
+	}
+}
+
+func (s *Segment) alloc(size int) Addr {
+	if size <= 0 {
+		panic("rdma: alloc of non-positive size")
+	}
+	// Round to 8 bytes so int64 fields are always aligned slots.
+	size = (size + 7) &^ 7
+	s.used += uint64(size)
+	if s.used > s.high {
+		s.high = s.used
+	}
+	if list := s.pools[size]; len(list) > 0 {
+		a := list[len(list)-1]
+		s.pools[size] = list[:len(list)-1]
+		clear(s.bytes(a, size)) // bytes grows the backing if still untouched
+		return a
+	}
+	a := s.bump
+	s.bump += Addr(size)
+	// Backing memory grows lazily on first access (see bytes): large
+	// regions (uni-address, evacuation) are cheap to reserve and cost host
+	// memory only for the bytes actually touched.
+	return a
+}
+
+func (s *Segment) allocStatic(size int) Addr {
+	if size <= 0 {
+		panic("rdma: alloc of non-positive size")
+	}
+	size = (size + 7) &^ 7
+	a := StaticBase + s.sbump
+	s.sbump += Addr(size)
+	return a
+}
+
+func (s *Segment) free(addr Addr, size int) {
+	if addr == 0 {
+		panic("rdma: free of nil address")
+	}
+	if addr >= StaticBase {
+		panic("rdma: free of static allocation")
+	}
+	size = (size + 7) &^ 7
+	s.used -= uint64(size)
+	s.pools[size] = append(s.pools[size], addr)
+}
+
+// bytes returns the backing slice for [addr, addr+n), growing the zone's
+// backing lazily (one power-of-two step) on first touch.
+func (s *Segment) bytes(addr Addr, n int) []byte {
+	if addr == 0 {
+		panic("rdma: access through nil address")
+	}
+	if addr >= StaticBase {
+		off := uint64(addr - StaticBase)
+		end := off + uint64(n)
+		if end > uint64(s.sbump) {
+			panic(fmt.Sprintf("rdma: static access [0x%x,+%d) beyond allocated space (%d bytes)", uint64(addr), n, uint64(s.sbump)))
+		}
+		if end > uint64(len(s.smem)) {
+			newLen := uint64(1024)
+			if len(s.smem) > 0 {
+				newLen = uint64(len(s.smem)) * 2
+			}
+			for newLen < end {
+				newLen *= 2
+			}
+			nm := make([]byte, newLen)
+			copy(nm, s.smem)
+			s.smem = nm
+		}
+		return s.smem[off:end:end]
+	}
+	end := uint64(addr) + uint64(n)
+	if end > uint64(s.bump) {
+		panic(fmt.Sprintf("rdma: access [0x%x,+%d) beyond allocated segment space (%d bytes)", uint64(addr), n, uint64(s.bump)))
+	}
+	if end > uint64(len(s.mem)) {
+		newLen := uint64(len(s.mem)) * 2
+		for newLen < end {
+			newLen *= 2
+		}
+		nm := make([]byte, newLen)
+		copy(nm, s.mem)
+		s.mem = nm
+	}
+	return s.mem[addr:end:end]
+}
+
+// Bytes exposes [addr, addr+n) of the segment for owner-local access.
+func (s *Segment) Bytes(addr Addr, n int) []byte { return s.bytes(addr, n) }
+
+// ReadInt64 reads a word locally (owner access, no simulated cost).
+func (s *Segment) ReadInt64(addr Addr) int64 {
+	return int64(binary.LittleEndian.Uint64(s.bytes(addr, 8)))
+}
+
+// WriteInt64 writes a word locally (owner access, no simulated cost).
+func (s *Segment) WriteInt64(addr Addr, v int64) {
+	binary.LittleEndian.PutUint64(s.bytes(addr, 8), uint64(v))
+}
+
+// InUse returns the number of bytes currently allocated.
+func (s *Segment) InUse() uint64 { return s.used }
+
+// HighWater returns the allocation high-water mark in bytes.
+func (s *Segment) HighWater() uint64 { return s.high }

@@ -1,0 +1,318 @@
+package rdma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+func newTestFabric(lat sim.Time, ranks int) (*sim.Engine, *Fabric) {
+	eng := sim.NewEngine()
+	return eng, NewFabric(eng, topo.Uniform(lat), ranks, 1024)
+}
+
+func TestLocEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(rank int32, addr uint64, size int32) bool {
+		l := Loc{Rank: rank, Addr: Addr(addr), Size: size}
+		var buf [LocSize]byte
+		EncodeLoc(buf[:], l)
+		return DecodeLoc(buf[:]) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocValid(t *testing.T) {
+	if (Loc{}).Valid() {
+		t.Error("zero Loc must be invalid")
+	}
+	if !(Loc{Rank: 0, Addr: 8, Size: 8}).Valid() {
+		t.Error("allocated Loc must be valid")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	eng, f := newTestFabric(1000, 2)
+	addr := f.Alloc(1, 64)
+	loc := Loc{Rank: 1, Addr: addr, Size: 64}
+	var got [5]byte
+	eng.Go("w0", func(p *sim.Proc) {
+		f.Put(p, 0, loc, []byte("hello"))
+		f.Get(p, 0, loc, got[:])
+	})
+	eng.Run(sim.Forever)
+	if string(got[:]) != "hello" {
+		t.Errorf("got %q, want hello", got)
+	}
+	if eng.Now() != 2000 {
+		t.Errorf("two remote ops took %v, want 2000ns", eng.Now())
+	}
+}
+
+func TestSelfAccessIsFree(t *testing.T) {
+	eng, f := newTestFabric(1000, 2)
+	addr := f.Alloc(0, 8)
+	loc := Loc{Rank: 0, Addr: addr, Size: 8}
+	eng.Go("w0", func(p *sim.Proc) {
+		f.PutInt64(p, 0, loc, 42)
+		if v := f.GetInt64(p, 0, loc); v != 42 {
+			t.Errorf("self get = %d, want 42", v)
+		}
+	})
+	eng.Run(sim.Forever)
+	if eng.Now() != 0 {
+		t.Errorf("self-access advanced clock to %v, want 0", eng.Now())
+	}
+	st := f.Stats(0)
+	if st.LocalOps != 2 || st.Gets != 0 || st.Puts != 0 {
+		t.Errorf("stats = %+v, want 2 local ops only", st)
+	}
+}
+
+func TestFetchAddSerializes(t *testing.T) {
+	eng, f := newTestFabric(1000, 5)
+	addr := f.Alloc(0, 8)
+	loc := Loc{Rank: 0, Addr: addr, Size: 8}
+	seen := make(map[int64]bool)
+	for r := 1; r < 5; r++ {
+		r := r
+		eng.Go("w", func(p *sim.Proc) {
+			p.Sleep(sim.Time(r)) // stagger issue times
+			old := f.FetchAdd(p, r, loc, 1)
+			if seen[old] {
+				t.Errorf("fetch_add returned duplicate old value %d", old)
+			}
+			seen[old] = true
+		})
+	}
+	eng.Run(sim.Forever)
+	if got := f.Seg(0).ReadInt64(addr); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	for i := int64(0); i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("old value %d never returned", i)
+		}
+	}
+}
+
+func TestCAS(t *testing.T) {
+	eng, f := newTestFabric(100, 3)
+	addr := f.Alloc(0, 8)
+	loc := Loc{Rank: 0, Addr: addr, Size: 8}
+	f.Seg(0).WriteInt64(addr, 7)
+	var results []int64
+	for r := 1; r < 3; r++ {
+		r := r
+		eng.Go("w", func(p *sim.Proc) {
+			p.Sleep(sim.Time(r))
+			results = append(results, f.CAS(p, r, loc, 7, int64(100+r)))
+		})
+	}
+	eng.Run(sim.Forever)
+	// Exactly one CAS succeeds (observes 7); the other observes the winner's value.
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0] != 7 {
+		t.Errorf("first CAS observed %d, want 7", results[0])
+	}
+	if results[1] != 101 {
+		t.Errorf("second CAS observed %d, want 101 (winner's value)", results[1])
+	}
+	if got := f.Seg(0).ReadInt64(addr); got != 101 {
+		t.Errorf("final value = %d, want 101", got)
+	}
+}
+
+func TestAtomicityUnderConcurrentIncrement(t *testing.T) {
+	// Property-style: N workers each add 1 k times; final value must be N*k
+	// regardless of latencies.
+	eng, f := newTestFabric(333, 8)
+	addr := f.Alloc(3, 8)
+	loc := Loc{Rank: 3, Addr: addr, Size: 8}
+	const k = 20
+	for r := 0; r < 8; r++ {
+		r := r
+		eng.Go("w", func(p *sim.Proc) {
+			for i := 0; i < k; i++ {
+				p.Sleep(sim.Time((r*13 + i*7) % 50))
+				f.FetchAdd(p, r, loc, 1)
+			}
+		})
+	}
+	eng.Run(sim.Forever)
+	if got := f.Seg(3).ReadInt64(addr); got != 8*k {
+		t.Errorf("counter = %d, want %d", got, 8*k)
+	}
+}
+
+func TestAllocatorReuse(t *testing.T) {
+	_, f := newTestFabric(0, 1)
+	a := f.Alloc(0, 48)
+	b := f.Alloc(0, 48)
+	if a == b {
+		t.Fatal("distinct allocations share an address")
+	}
+	f.Free(0, a, 48)
+	c := f.Alloc(0, 48)
+	if c != a {
+		t.Errorf("freed block not reused: got 0x%x, want 0x%x", uint64(c), uint64(a))
+	}
+}
+
+func TestAllocZeroesReusedMemory(t *testing.T) {
+	_, f := newTestFabric(0, 1)
+	a := f.Alloc(0, 16)
+	copy(f.Seg(0).Bytes(a, 16), "dirty dirty data")
+	f.Free(0, a, 16)
+	b := f.Alloc(0, 16)
+	for i, v := range f.Seg(0).Bytes(b, 16) {
+		if v != 0 {
+			t.Fatalf("reused memory not zeroed at byte %d", i)
+		}
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	_, f := newTestFabric(0, 1)
+	for _, size := range []int{1, 3, 7, 8, 9, 17} {
+		a := f.Alloc(0, size)
+		if uint64(a)%8 != 0 {
+			t.Errorf("Alloc(%d) returned unaligned address 0x%x", size, uint64(a))
+		}
+	}
+}
+
+func TestSegmentGrowth(t *testing.T) {
+	_, f := newTestFabric(0, 1)
+	// Initial segment is 1024 bytes; allocate well past it.
+	a := f.Alloc(0, 8192)
+	b := f.Seg(0).Bytes(a, 8192)
+	b[8191] = 0xAB
+	if f.Seg(0).Bytes(a, 8192)[8191] != 0xAB {
+		t.Error("grown segment lost data")
+	}
+}
+
+func TestHighWaterMark(t *testing.T) {
+	_, f := newTestFabric(0, 1)
+	a := f.Alloc(0, 100) // rounds to 104
+	f.Alloc(0, 100)
+	f.Free(0, a, 100)
+	s := f.Seg(0)
+	if s.InUse() != 104 {
+		t.Errorf("InUse = %d, want 104", s.InUse())
+	}
+	if s.HighWater() != 208 {
+		t.Errorf("HighWater = %d, want 208", s.HighWater())
+	}
+}
+
+func TestAllocatorNeverOverlapsProperty(t *testing.T) {
+	// Random alloc/free sequences must never hand out overlapping live blocks.
+	check := func(ops []uint8) bool {
+		_, f := newTestFabric(0, 1)
+		type block struct {
+			addr Addr
+			size int
+		}
+		var live []block
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				f.Free(0, live[i].addr, live[i].size)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				size := int(op%64) + 1
+				a := f.Alloc(0, size)
+				rounded := (size + 7) &^ 7
+				for _, b := range live {
+					br := (b.size + 7) &^ 7
+					if uint64(a) < uint64(b.addr)+uint64(br) && uint64(b.addr) < uint64(a)+uint64(rounded) {
+						return false
+					}
+				}
+				live = append(live, block{a, size})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetOversizePanics(t *testing.T) {
+	eng, f := newTestFabric(0, 2)
+	addr := f.Alloc(1, 8)
+	loc := Loc{Rank: 1, Addr: addr, Size: 8}
+	eng.Go("w0", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversize get did not panic")
+			}
+		}()
+		var buf [16]byte
+		f.Get(p, 0, loc, buf[:])
+	})
+	eng.Run(sim.Forever)
+}
+
+func TestNilAddressPanics(t *testing.T) {
+	_, f := newTestFabric(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("access through nil address did not panic")
+		}
+	}()
+	f.Seg(0).ReadInt64(0)
+}
+
+func TestStatsCounting(t *testing.T) {
+	eng, f := newTestFabric(10, 2)
+	addr := f.Alloc(1, 32)
+	loc := Loc{Rank: 1, Addr: addr, Size: 32}
+	eng.Go("w0", func(p *sim.Proc) {
+		f.Put(p, 0, loc, make([]byte, 32))
+		var buf [16]byte
+		f.Get(p, 0, Loc{Rank: 1, Addr: addr, Size: 16}, buf[:])
+		f.FetchAdd(p, 0, Loc{Rank: 1, Addr: addr, Size: 8}, 1)
+	})
+	eng.Run(sim.Forever)
+	st := f.Stats(0)
+	if st.Puts != 1 || st.Gets != 1 || st.Atomics != 1 {
+		t.Errorf("op counts = %+v", st)
+	}
+	if st.BytesOut != 32 || st.BytesIn != 16 {
+		t.Errorf("byte counts = %+v", st)
+	}
+	total := f.TotalStats()
+	if total.Puts != 1 || total.Gets != 1 {
+		t.Errorf("total stats = %+v", total)
+	}
+}
+
+func TestTimingIntraVsInterNode(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topo.ITOA()
+	f := NewFabric(eng, m, 72, 256) // two nodes of 36
+	addrSame := f.Alloc(1, 8)
+	addrFar := f.Alloc(40, 8)
+	var tIntra, tInter sim.Time
+	eng.Go("w0", func(p *sim.Proc) {
+		start := p.Now()
+		f.GetInt64(p, 0, Loc{Rank: 1, Addr: addrSame, Size: 8})
+		tIntra = p.Now() - start
+		start = p.Now()
+		f.GetInt64(p, 0, Loc{Rank: 40, Addr: addrFar, Size: 8})
+		tInter = p.Now() - start
+	})
+	eng.Run(sim.Forever)
+	if !(tIntra < tInter) {
+		t.Errorf("intra-node get (%v) should be faster than inter-node (%v)", tIntra, tInter)
+	}
+}

@@ -1,0 +1,370 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulator (DES). It is the substrate on which the whole repository runs:
+// simulated cluster workers, user-level threads, and network operations are
+// all simulated processes ("procs") advancing a shared virtual clock.
+//
+// # Model
+//
+// An Engine owns a virtual clock and a priority queue of events. A Proc is a
+// goroutine that runs only when the engine hands it control; at any instant
+// at most one proc (or the engine itself) is executing, so a simulation is
+// fully sequential and deterministic: two runs with the same inputs produce
+// the same event order, the same virtual timestamps, and the same results,
+// regardless of GOMAXPROCS.
+//
+// Procs interact with virtual time through three primitives:
+//
+//   - Sleep(d): suspend for d nanoseconds of virtual time.
+//   - Park(): suspend until some other proc (or callback) calls Wake.
+//   - Wake(p)/WakeAfter(p, d): make a parked proc runnable (now or later).
+//
+// The engine additionally supports plain callback events via At/After, which
+// run on the engine goroutine itself.
+//
+// # Determinism
+//
+// Events are ordered by (virtual time, sequence number); the sequence number
+// is assigned when the event is scheduled, so simultaneous events fire in
+// scheduling order (FIFO). No real time, map iteration order, or goroutine
+// scheduling decision can influence the simulation.
+package sim
+
+import "fmt"
+
+// Time is a virtual timestamp or duration in nanoseconds. The simulation
+// starts at time 0. Time is a distinct type (not time.Duration) to make it
+// impossible to accidentally mix virtual and wall-clock time.
+type Time int64
+
+// Convenient virtual-duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// String formats the time with an adaptive unit, e.g. "12.5us" or "3.04s".
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/1e3)
+	case t < 10*Second:
+		return fmt.Sprintf("%.2fms", float64(t)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/1e9)
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Forever sentinels "run to completion" when passed to Engine.Run.
+const Forever Time = -1
+
+// ProcState describes the lifecycle state of a Proc.
+type ProcState uint8
+
+// Proc lifecycle states.
+const (
+	StateNew       ProcState = iota // created, start event pending
+	StateRunning                    // currently executing
+	StateScheduled                  // has a pending wake event in the queue
+	StateParked                     // suspended, waiting for an explicit Wake
+	StateDead                       // body returned (or proc was killed)
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunning:
+		return "running"
+	case StateScheduled:
+		return "scheduled"
+	case StateParked:
+		return "parked"
+	case StateDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+type wakeSignal uint8
+
+const (
+	wakeRun wakeSignal = iota
+	wakeKill
+)
+
+// killed is the panic payload used to unwind a proc's goroutine during
+// Engine.Shutdown. It never escapes the package.
+type killed struct{}
+
+// event is a single entry in the engine's priority queue: either a proc
+// wake-up (p != nil) or a callback (fn != nil).
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+	fn  func()
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use: Run, Shutdown, Go, At and After must be called either
+// from the goroutine that owns the engine (while Run is not executing a
+// proc) or from within a running proc.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // proc -> engine: "I have suspended or finished"
+	current *Proc
+	procs   map[*Proc]struct{} // live (non-dead) procs
+	parked  int
+	stopped bool
+	trace   func(string) // optional debug trace hook
+}
+
+// NewEngine returns an empty engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Live returns the number of procs that have been created and have not yet
+// finished.
+func (e *Engine) Live() int { return len(e.procs) }
+
+// Parked returns the number of procs currently parked (waiting for Wake).
+func (e *Engine) Parked() int { return e.parked }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes Run return after the current event completes. It may be called
+// from inside a proc or callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// SetTrace installs a debug trace hook invoked with a line per event.
+// Pass nil to disable.
+func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
+
+func (e *Engine) schedule(t Time, p *Proc, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, p: p, fn: fn})
+}
+
+// At schedules fn to run on the engine goroutine at virtual time t (which
+// must not be in the past).
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, nil, fn) }
+
+// After schedules fn to run on the engine goroutine d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+// Go creates a new proc that will begin executing body at the current
+// virtual time (after already-queued events at this time). The name is used
+// in diagnostics only.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	return e.GoAfter(0, name, body)
+}
+
+// GoAfter is Go with a start delay of d virtual nanoseconds.
+func (e *Engine) GoAfter(d Time, name string, body func(p *Proc)) *Proc {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	p := &Proc{
+		eng:   e,
+		name:  name,
+		wake:  make(chan wakeSignal, 1),
+		state: StateNew,
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		sig := <-p.wake
+		if sig != wakeKill {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(killed); ok {
+							return
+						}
+						// Real panic in simulation code: surface it with the
+						// proc's identity, then crash as usual.
+						panic(fmt.Sprintf("sim: panic in proc %q at t=%v: %v", p.name, e.now, r))
+					}
+				}()
+				body(p)
+			}()
+		}
+		p.state = StateDead
+		delete(e.procs, p)
+		e.yield <- struct{}{}
+	}()
+	p.state = StateScheduled
+	e.schedule(e.now+d, p, nil)
+	return p
+}
+
+// Run executes events until the queue is empty, Stop is called, or the next
+// event lies beyond the until horizon (pass Forever for no horizon). It
+// returns the virtual time at which it stopped. When a horizon is given and
+// events remain beyond it, the clock is advanced exactly to the horizon.
+func (e *Engine) Run(until Time) Time {
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events.peek()
+		if until >= 0 && ev.t > until {
+			e.now = until
+			return e.now
+		}
+		e.events.pop()
+		e.now = ev.t
+		switch {
+		case ev.fn != nil:
+			if e.trace != nil {
+				e.trace(fmt.Sprintf("t=%v callback", e.now))
+			}
+			ev.fn()
+		case ev.p != nil:
+			p := ev.p
+			if p.state == StateDead {
+				// A killed proc can leave a stale event behind.
+				continue
+			}
+			if e.trace != nil {
+				e.trace(fmt.Sprintf("t=%v run %q", e.now, p.name))
+			}
+			p.state = StateRunning
+			e.current = p
+			p.wake <- wakeRun
+			<-e.yield
+			e.current = nil
+		}
+	}
+	return e.now
+}
+
+// Deadlocked reports whether the simulation has reached a state with no
+// pending events but live parked procs — i.e. progress is impossible.
+func (e *Engine) Deadlocked() bool {
+	return len(e.events) == 0 && e.parked > 0
+}
+
+// Shutdown force-kills all live procs so their goroutines exit. It must be
+// called from outside Run (i.e. not from a proc or callback). After
+// Shutdown the engine must not be reused.
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	for len(e.procs) > 0 {
+		var p *Proc
+		// Pick any live proc; order does not matter for teardown.
+		for q := range e.procs {
+			p = q
+			break
+		}
+		switch p.state {
+		case StateParked, StateScheduled, StateNew:
+			p.state = StateDead
+			p.wake <- wakeKill
+			<-e.yield
+		default:
+			panic(fmt.Sprintf("sim: Shutdown with proc %q in state %v", p.name, p.state))
+		}
+	}
+	e.events = nil
+}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with virtual time by the engine. All methods must be called from the
+// proc's own body.
+type Proc struct {
+	eng   *Engine
+	name  string
+	wake  chan wakeSignal
+	state ProcState
+}
+
+// Name returns the diagnostic name given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// State returns the proc's lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// yield returns control to the engine and blocks until the next wake.
+func (p *Proc) yield() {
+	p.eng.yield <- struct{}{}
+	if sig := <-p.wake; sig == wakeKill {
+		panic(killed{})
+	}
+}
+
+// Sleep suspends the proc for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if p.eng.current != p {
+		panic(fmt.Sprintf("sim: Sleep called on proc %q that is not current", p.name))
+	}
+	p.state = StateScheduled
+	p.eng.schedule(p.eng.now+d, p, nil)
+	p.yield()
+	p.state = StateRunning
+}
+
+// Park suspends the proc until another proc or a callback calls Wake (or
+// WakeAfter) on it.
+func (p *Proc) Park() {
+	if p.eng.current != p {
+		panic(fmt.Sprintf("sim: Park called on proc %q that is not current", p.name))
+	}
+	p.state = StateParked
+	p.eng.parked++
+	p.yield()
+	p.state = StateRunning
+}
+
+// Wake makes a parked proc runnable at the current virtual time. It panics
+// if the proc is not parked; use State to guard when unsure.
+func (e *Engine) Wake(p *Proc) { e.WakeAfter(p, 0) }
+
+// WakeAfter makes a parked proc runnable d nanoseconds from now.
+func (e *Engine) WakeAfter(p *Proc, d Time) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	if p.state != StateParked {
+		panic(fmt.Sprintf("sim: Wake of proc %q in state %v", p.name, p.state))
+	}
+	e.parked--
+	p.state = StateScheduled
+	e.schedule(e.now+d, p, nil)
+}

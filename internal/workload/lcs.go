@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"contsteal/internal/core"
+	"contsteal/internal/sim"
+)
+
+// LCS — longest common subsequence by recursive 2-D decomposition with
+// futures (Fig. 10/11 of the paper, after Chowdhury & Ramachandran's
+// sequential algorithm).
+//
+// The n×n dynamic-programming table is decomposed into quadrants down to
+// C×C leaf blocks. Every block is a future; a block receives the futures of
+// its top (T) and left (L) neighbours, joins them to obtain either their
+// boundary rows/columns (leaf level) or their quadrant futures (inner
+// levels), and spawns its own quadrants following the wavefront dependency
+// pattern:
+//
+//	X00 := spawn LCS(i,      j,      T10, L01)
+//	X01 := spawn LCS(i,      j+n/2,  T11, X00)
+//	X10 := spawn LCS(i+n/2,  j,      X00, L11)
+//	X11 := spawn LCS(i+n/2,  j+n/2,  X01, X10)
+//
+// Because each future is consumed a fixed, position-dependent number of
+// times (its sibling quadrants, plus the right/bottom neighbours of its
+// parent, plus — on the main diagonal chain — the answer extractor), the
+// spawner declares the exact consumer count required by the runtime's
+// multi-consumer futures (§V-D). The counting rules, derived from the
+// dependency diagram:
+//
+//	consumers(X00) = 3                              (X01, X10, parent line 65)
+//	consumers(X01) = 1 + rJoin(B)                   (X11, B's right neighbour)
+//	consumers(X10) = 1 + dJoin(B)                   (X11, B's bottom neighbour)
+//	consumers(X11) = rJoin(B) + dJoin(B) + chain(B)
+//
+// where rJoin(B)/dJoin(B) say whether a block to B's right/below joins B,
+// and chain(B) marks the bottom-right diagonal chain along which the final
+// answer is extracted.
+//
+// Boundary data is real: leaf blocks return their bottom row and right
+// column (C+1 values each, including the shared corner) through the
+// runtime's return-value path, so the simulated RDMA traffic carries the
+// actual wavefront payloads. With Verify=true the leaves execute the real
+// block DP on the generated sequences and the root returns the true LCS
+// length; with Verify=false the kernel's cost is charged to virtual time
+// without burning host CPU, for large timing runs.
+type LCSParams struct {
+	N    int // sequence length (power of two, multiple of C)
+	C    int // leaf block size (the paper uses 512)
+	Seed int64
+	// Verify selects real DP computation in the leaves.
+	Verify bool
+	// CellCost is the per-DP-cell compute cost on the reference machine;
+	// Tc = C²·CellCost. The paper measured Tc = 0.340 ms for C=512 on
+	// ITO-A ⇒ ~1.3 ns per cell.
+	CellCost sim.Time
+	// Alphabet is the number of distinct symbols in the random sequences.
+	Alphabet int
+}
+
+// DefaultLCSParams mirrors the paper's setting (C=512, random byte input).
+func DefaultLCSParams(n int) LCSParams {
+	return LCSParams{N: n, C: 512, Seed: 7, CellCost: 1, Alphabet: 8}
+}
+
+func (p LCSParams) check() {
+	if p.N%p.C != 0 || p.N < p.C {
+		panic(fmt.Sprintf("workload: LCS N=%d not a multiple of C=%d", p.N, p.C))
+	}
+	if (p.N/p.C)&(p.N/p.C-1) != 0 {
+		panic("workload: LCS N/C must be a power of two")
+	}
+	if p.C < 8 {
+		panic("workload: LCS C must be at least 8")
+	}
+}
+
+// Tc returns the leaf-block execution time on the reference machine.
+func (p LCSParams) Tc() sim.Time { return sim.Time(p.C) * sim.Time(p.C) * p.CellCost }
+
+// T1 returns the total work: (N/C)²·Tc (§V-D).
+func (p LCSParams) T1() sim.Time {
+	k := sim.Time(p.N / p.C)
+	return k * k * p.Tc()
+}
+
+// TInf returns the span: (2N/C − 1)·Tc (§V-D).
+func (p LCSParams) TInf() sim.Time {
+	return (2*sim.Time(p.N/p.C) - 1) * p.Tc()
+}
+
+// RetvalBytes returns the RetvalBytes the runtime must be configured with:
+// leaf boundaries dominate (two (C+1)-value int32 arrays plus a tag).
+func (p LCSParams) RetvalBytes() int {
+	leaf := 1 + 8*(p.C+1)
+	triple := 1 + 3*core.HandleBytes
+	if leaf > triple {
+		return leaf
+	}
+	return triple
+}
+
+// GenSequences deterministically generates the two input sequences.
+func (p LCSParams) GenSequences() ([]byte, []byte) {
+	gen := func(seed uint64) []byte {
+		s := make([]byte, p.N)
+		x := seed*0x9E3779B97F4A7C15 + 1
+		for i := range s {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			s[i] = byte(x % uint64(p.Alphabet))
+		}
+		return s
+	}
+	return gen(uint64(p.Seed)), gen(uint64(p.Seed) + 0xABCD)
+}
+
+// SerialLCS computes the LCS length of a and b by the classic O(n²) DP —
+// ground truth for Verify runs.
+func SerialLCS(a, b []byte) int {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return int(prev[len(b)])
+}
+
+// ---- retval encoding ------------------------------------------------------
+
+const (
+	lcsKindTriple = 1
+	lcsKindLeaf   = 2
+)
+
+func encodeTriple(x01, x10, x11 core.Handle) []byte {
+	buf := make([]byte, 1+3*core.HandleBytes)
+	buf[0] = lcsKindTriple
+	x01.Encode(buf[1:])
+	x10.Encode(buf[1+core.HandleBytes:])
+	x11.Encode(buf[1+2*core.HandleBytes:])
+	return buf
+}
+
+func decodeTriple(buf []byte) (x01, x10, x11 core.Handle) {
+	if buf[0] != lcsKindTriple {
+		panic("workload: LCS joined a leaf where a triple was expected")
+	}
+	x01 = core.DecodeHandle(buf[1:])
+	x10 = core.DecodeHandle(buf[1+core.HandleBytes:])
+	x11 = core.DecodeHandle(buf[1+2*core.HandleBytes:])
+	return
+}
+
+func encodeLeaf(b, r []int32) []byte {
+	buf := make([]byte, 1+4*(len(b)+len(r)))
+	buf[0] = lcsKindLeaf
+	off := 1
+	for _, v := range b {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+		off += 4
+	}
+	for _, v := range r {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+		off += 4
+	}
+	return buf
+}
+
+func decodeLeaf(buf []byte, c int) (b, r []int32) {
+	if buf[0] != lcsKindLeaf {
+		panic("workload: LCS joined a triple where a leaf was expected")
+	}
+	b = make([]int32, c+1)
+	r = make([]int32, c+1)
+	off := 1
+	for i := range b {
+		b[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	for i := range r {
+		r[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return
+}
+
+// ---- the benchmark --------------------------------------------------------
+
+type lcsSpec struct {
+	rJoin, dJoin, chain bool
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LCS returns the root task: it spawns the recursive decomposition and
+// extracts the answer by walking the X11 chain to the bottom-right leaf.
+// The return value is the LCS length (0 in timing mode).
+func LCS(p LCSParams) core.TaskFunc {
+	p.check()
+	a, b := p.GenSequences()
+	return func(c *core.Ctx) []byte {
+		root := c.SpawnFuture(1, lcsBlock(p, a, b, 0, 0, p.N, core.Handle{}, core.Handle{},
+			lcsSpec{rJoin: false, dJoin: false, chain: true}))
+		h := root
+		for size := p.N; size > p.C; size /= 2 {
+			_, _, x11 := decodeTriple(h.Join(c))
+			h = x11
+		}
+		bot, _ := decodeLeaf(h.Join(c), p.C)
+		return core.Int64Ret(int64(bot[p.C]))
+	}
+}
+
+// lcsBlock is the LCS function of Fig. 11 for block [i,i+size)×[j,j+size).
+func lcsBlock(p LCSParams, a, b []byte, i, j, size int, T, L core.Handle, sp lcsSpec) core.TaskFunc {
+	return func(c *core.Ctx) []byte {
+		if size <= p.C { // lines 55-58
+			return lcsLeaf(c, p, a, b, i, j, T, L)
+		}
+		// line 60: join the neighbour futures and unpack their quadrants.
+		var t10, t11, l01, l11 core.Handle
+		if T.Valid() {
+			_, t10x, t11x := decodeTriple(T.Join(c))
+			t10, t11 = t10x, t11x
+		}
+		if L.Valid() {
+			l01x, _, l11x := decodeTriple(L.Join(c))
+			l01, l11 = l01x, l11x
+		}
+		half := size / 2
+		// lines 61-64, with exact consumer counts (see package comment).
+		x00 := c.SpawnFuture(3,
+			lcsBlock(p, a, b, i, j, half, t10, l01, lcsSpec{rJoin: true, dJoin: true}))
+		x01 := c.SpawnFuture(1+b2i(sp.rJoin),
+			lcsBlock(p, a, b, i, j+half, half, t11, x00, lcsSpec{rJoin: sp.rJoin, dJoin: true}))
+		x10 := c.SpawnFuture(1+b2i(sp.dJoin),
+			lcsBlock(p, a, b, i+half, j, half, x00, l11, lcsSpec{rJoin: true, dJoin: sp.dJoin}))
+		x11 := c.SpawnFuture(b2i(sp.rJoin)+b2i(sp.dJoin)+b2i(sp.chain),
+			lcsBlock(p, a, b, i+half, j+half, half, x01, x10, sp))
+		// line 65: join X00 to bound the number of in-flight futures.
+		x00.Join(c)
+		// line 66: return the remaining quadrant futures to our consumers.
+		return encodeTriple(x01, x10, x11)
+	}
+}
+
+// lcsLeaf computes one C×C block. Boundary layout (values of the DP matrix
+// X, with X(-1,·)=X(·,-1)=0):
+//
+//	b[0] = X(i+C-1, j-1),  b[1..C] = X(i+C-1, j .. j+C-1)   (bottom row)
+//	r[0] = X(i-1, j+C-1),  r[1..C] = X(i .. i+C-1, j+C-1)   (right column)
+//
+// The top neighbour's b is exactly this block's top boundary (with the
+// diagonal corner at index 0) and the left neighbour's r is its left
+// boundary — so boundaries flow through future return values alone, as in
+// the paper ("data are only exchanged via arguments or return values of
+// tasks").
+func lcsLeaf(c *core.Ctx, p LCSParams, a, b []byte, i, j int, T, L core.Handle) []byte {
+	n := p.C
+	top := make([]int32, n+1)
+	left := make([]int32, n+1)
+	if T.Valid() {
+		tb, _ := decodeLeaf(T.Join(c), n)
+		top = tb
+	}
+	if L.Valid() {
+		_, lr := decodeLeaf(L.Join(c), n)
+		left = lr
+	}
+	bot := make([]int32, n+1)
+	right := make([]int32, n+1)
+	if p.Verify {
+		// Real block DP (LCS_SEQ of Fig. 11).
+		x := make([]int32, n*n)
+		at := func(r, col int) int32 {
+			switch {
+			case r >= 0 && col >= 0:
+				return x[r*n+col]
+			case r < 0 && col < 0:
+				return top[0] // diagonal corner X(i-1, j-1)
+			case r < 0:
+				return top[col+1]
+			default:
+				return left[r+1]
+			}
+		}
+		for r := 0; r < n; r++ {
+			for col := 0; col < n; col++ {
+				var v int32
+				if a[i+r] == b[j+col] {
+					v = at(r-1, col-1) + 1
+				} else {
+					up, lf := at(r-1, col), at(r, col-1)
+					v = up
+					if lf > up {
+						v = lf
+					}
+				}
+				x[r*n+col] = v
+			}
+		}
+		bot[0] = left[n]
+		right[0] = top[n]
+		for k := 0; k < n; k++ {
+			bot[k+1] = x[(n-1)*n+k]
+			right[k+1] = x[k*n+(n-1)]
+		}
+	}
+	c.Compute(p.Tc())
+	return encodeLeaf(bot, right)
+}

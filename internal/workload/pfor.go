@@ -1,0 +1,105 @@
+// Package workload implements the benchmarks of the paper's evaluation:
+//
+//   - PFor and RecPFor — the synthetic fork-join benchmarks of Fig. 5,
+//     used for the joining/stealing-strategy analysis (Fig. 6, Table II,
+//     Fig. 7);
+//   - UTS — the unbalanced tree search benchmark (Olivier et al., LCPC '06)
+//     with SHA-1-generated geometric trees (Fig. 8, Fig. 9);
+//   - LCS — the longest-common-subsequence benchmark built on recursive 2-D
+//     decomposition and multi-consumer futures (Fig. 11, Table III, Fig. 12).
+package workload
+
+import (
+	"contsteal/internal/core"
+	"contsteal/internal/sim"
+)
+
+// PForParams parameterizes the PFor and RecPFor benchmarks exactly as §IV-C:
+// K consecutive parallel loops, leaf duration M, problem size N. The paper's
+// evaluation fixes K=5 and M=10 µs and sweeps N.
+type PForParams struct {
+	K int
+	M sim.Time
+	N int
+}
+
+// DefaultPForParams returns the paper's fixed parameters with the given N.
+func DefaultPForParams(n int) PForParams {
+	return PForParams{K: 5, M: 10 * sim.Microsecond, N: n}
+}
+
+// T1PFor returns the total work of PFor: T1 = K·M·N.
+func (p PForParams) T1PFor() sim.Time {
+	return sim.Time(p.K) * p.M * sim.Time(p.N)
+}
+
+// T1RecPFor returns the total work of RecPFor: T1 = K·M·N·log2(N) + M·N.
+func (p PForParams) T1RecPFor() sim.Time {
+	return sim.Time(p.K)*p.M*sim.Time(p.N)*sim.Time(log2(p.N)) + p.M*sim.Time(p.N)
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// parallelFor executes compute(M) for n iterations as a recursive binary
+// fork-join (as in cilk_for).
+func parallelFor(c *core.Ctx, n int, m sim.Time) {
+	if n == 1 {
+		c.Compute(m)
+		return
+	}
+	half := n / 2
+	h := c.Spawn(func(c *core.Ctx) []byte {
+		parallelFor(c, half, m)
+		return nil
+	})
+	parallelFor(c, n-half, m)
+	h.Join(c)
+}
+
+// pforBody runs K consecutive parallel loops over n iterations (the PFor()
+// function of Fig. 5).
+func pforBody(c *core.Ctx, k, n int, m sim.Time) {
+	for i := 0; i < k; i++ {
+		parallelFor(c, n, m)
+	}
+}
+
+// PFor returns the root task of the PFor benchmark.
+func PFor(p PForParams) core.TaskFunc {
+	return func(c *core.Ctx) []byte {
+		pforBody(c, p.K, p.N, p.M)
+		return nil
+	}
+}
+
+// RecPFor returns the root task of the RecPFor benchmark: parallel tasks
+// recursively created as a binary tree, with K parallel loops at each
+// recursion level — the quicksort/decision-tree pattern of §IV-C.
+func RecPFor(p PForParams) core.TaskFunc {
+	return func(c *core.Ctx) []byte {
+		recPFor(c, p.K, p.N, p.M)
+		return nil
+	}
+}
+
+func recPFor(c *core.Ctx, k, n int, m sim.Time) {
+	if n == 1 {
+		c.Compute(m)
+		return
+	}
+	pforBody(c, k, n, m)
+	half := n / 2
+	h := c.Spawn(func(c *core.Ctx) []byte {
+		recPFor(c, k, half, m)
+		return nil
+	})
+	recPFor(c, k, n-half, m)
+	h.Join(c)
+}

@@ -1,0 +1,34 @@
+package contsteal
+
+import (
+	"contsteal/internal/core"
+	"contsteal/internal/pgas"
+)
+
+// GlobalArray is a block-distributed global array of fixed-size elements —
+// the PGAS substrate the paper's conclusion names as future work. Any task
+// can read or write any element through one-sided operations; accesses to a
+// task's own rank are free, remote accesses are charged the fabric's
+// one-sided costs. Global addresses are location-transparent, so a migrated
+// task keeps working on the same data.
+type GlobalArray = pgas.Array
+
+// GlobalInt64Array is a GlobalArray of int64 elements with typed accessors
+// (Get/Set/FetchAdd/GetRange/SetRange).
+type GlobalInt64Array = pgas.Int64Array
+
+// NewGlobalArray allocates a global array of n elements of elemSize bytes,
+// block-distributed over the runtime's workers. Allocate before calling
+// Run:
+//
+//	rt := contsteal.NewRuntime(cfg)
+//	data := contsteal.NewGlobalInt64Array(rt, 1<<20)
+//	rt.Run(func(c *contsteal.Ctx) []byte { ... data.Get(c, i) ... })
+func NewGlobalArray(rt *core.Runtime, n, elemSize int) *GlobalArray {
+	return pgas.NewArray(rt, n, elemSize)
+}
+
+// NewGlobalInt64Array allocates a block-distributed global []int64.
+func NewGlobalInt64Array(rt *core.Runtime, n int) GlobalInt64Array {
+	return pgas.NewInt64Array(rt, n)
+}
