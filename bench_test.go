@@ -209,6 +209,27 @@ func BenchmarkFig12LCSBounds(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel sweeps — the fig9-style grid on the bounded host worker pool
+// ---------------------------------------------------------------------------
+
+// benchSweepFig9 runs a 4-point worker-count sweep (independent jobs) with
+// the given host pool width. Comparing Parallel1 with Parallel4 on a
+// multi-core host measures the sweep runner's wall-clock speedup; rows are
+// identical in both (asserted by TestSweepDeterministicUnderParallelism).
+func benchSweepFig9(b *testing.B, parallel int) {
+	var rows []experiments.Fig8Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig9(experiments.Options{Seed: 42, Parallel: parallel},
+			"T1L", []int{9, 18, 36, 72}, 6)
+	}
+	b.ReportMetric(float64(len(rows)), "jobs")
+}
+
+func BenchmarkSweepFig9Parallel1(b *testing.B) { benchSweepFig9(b, 1) }
+func BenchmarkSweepFig9Parallel4(b *testing.B) { benchSweepFig9(b, 4) }
+
+// ---------------------------------------------------------------------------
 // Ablations — design choices called out in DESIGN.md
 // ---------------------------------------------------------------------------
 

@@ -1,6 +1,6 @@
 // Command repro regenerates the paper's tables and figures on the
 // simulated cluster and prints them as aligned text tables (and, for the
-// figures, as TSV series suitable for plotting).
+// figures, as TSV series suitable for plotting, or as a JSON dump).
 //
 // Usage:
 //
@@ -13,31 +13,68 @@
 //	repro fig12  [-machine ...]
 //	repro all    (runs everything at default scale)
 //
+// Every experiment is a grid of independent deterministic simulations;
+// -parallel N runs up to N of them concurrently (default: all CPUs) with
+// per-job progress on stderr. Output is byte-identical for every -parallel
+// value: each simulation runs on its own sequential single-clock engine and
+// rows are reassembled in grid order. -json dumps the structured rows
+// (virtual times in integer nanoseconds) alongside the tables and TSV.
+//
 // Absolute numbers are simulation outputs, not hardware measurements; the
 // experiment shapes are what reproduce the paper (see EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"contsteal/internal/experiments"
 )
 
 func main() {
-	// The simulation engine is strictly sequential; keeping the Go
-	// scheduler on one OS thread avoids cross-thread handoff cost (~4x).
-	runtime.GOMAXPROCS(1)
-	if len(os.Args) < 2 {
-		usage()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+}
+
+// app carries one invocation's output sinks and the structured rows
+// accumulated for the -json dump.
+type app struct {
+	stdout, stderr io.Writer
+	tsvDir         string
+	jsonPath       string
+	sections       []section
+}
+
+// section is one experiment's structured result in the JSON dump, in
+// emission order.
+type section struct {
+	Name string `json:"name"`
+	Rows any    `json:"rows"`
+}
+
+func usageErr() error {
+	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|all} [flags]")
+}
+
+// run executes one repro invocation against the given writers. All tables
+// and TSV/JSON notices go to stdout; progress and errors go to stderr.
+func run(argv []string, stdout, stderr io.Writer) error {
+	if len(argv) < 1 {
+		return usageErr()
+	}
+	cmd, args := argv[0], argv[1:]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	bench := fs.String("bench", "recpfor", "pfor or recpfor")
 	machine := fs.String("machine", "itoa", "itoa or wisteria")
 	workers := fs.Int("workers", 0, "simulated cores (0 = experiment default)")
@@ -50,64 +87,116 @@ func main() {
 	workScale := fs.Int("workscale", 1, "UTS: multiply per-node work (one node stands for k)")
 	dequeCap := fs.Int("dequecap", 0, "per-worker deque capacity override")
 	tsvDir := fs.String("tsv", "", "also write the series as TSV files into this directory")
+	jsonPath := fs.String("json", "", `also dump all rows as JSON to this file ("-" = stdout)`)
+	parallel := fs.Int("parallel", runtime.NumCPU(), "host worker pool for the sweep grid (1 = sequential)")
+	quiet := fs.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return err
 	}
-	o := experiments.Options{Machine: *machine, Workers: *workers, Scale: *scale, Seed: *seed, WorkScale: *workScale, DequeCap: *dequeCap}
-	sweep := parseList(*workersList)
-	tsvOut = *tsvDir
+	if *parallel == 1 {
+		// A sequential sweep is one engine at a time; keep the Go scheduler
+		// on one OS thread for cheap proc handoffs (see internal/sim's
+		// "Host performance" note), restoring the setting on return. With a
+		// parallel pool the engines need all host threads instead.
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
+	o := experiments.Options{
+		Machine: *machine, Workers: *workers, Scale: *scale, Seed: *seed,
+		WorkScale: *workScale, DequeCap: *dequeCap, Parallel: *parallel,
+	}
+	sweep, err := parseList(*workersList)
+	if err != nil {
+		return err
+	}
+	a := &app{stdout: stdout, stderr: stderr, tsvDir: *tsvDir, jsonPath: *jsonPath}
+
+	if !*quiet {
+		experiments.Progress = func(done, total int, c experiments.Coord, wall time.Duration) {
+			fmt.Fprintf(stderr, "[%d/%d] %s (%.2fs)\n", done, total, c, wall.Seconds())
+		}
+		defer func() { experiments.Progress = nil }()
+	}
+
+	var fig6NS []int
+	if *n != 0 {
+		fig6NS = []int{*n}
+	}
 
 	switch cmd {
 	case "fig6":
-		printFig6(experiments.Fig6(o, *bench, nil))
+		a.printFig6(experiments.Fig6(o, *bench, fig6NS))
 	case "table2":
-		printTable2(experiments.Table2(o, *bench, *n))
+		a.printTable2(experiments.Table2(o, *bench, *n))
 	case "fig7":
-		printFig7(experiments.Fig7(o, *n))
+		a.printFig7(experiments.Fig7(o, *n))
 	case "fig8":
-		printFig8("Fig. 8: UTS throughput on "+*machine, experiments.Fig8(o, *tree, sweep, *seqDepth))
+		a.printFig8("Fig. 8: UTS throughput on "+*machine, experiments.Fig8(o, *tree, sweep, *seqDepth))
 	case "fig9":
 		o2 := o
 		if *machine == "itoa" {
 			o2.Machine = "wisteria"
 		}
-		printFig8("Fig. 9: UTS throughput (ours) on "+o2.Machine, experiments.Fig9(o2, *tree, sweep, *seqDepth))
+		a.printFig8("Fig. 9: UTS throughput (ours) on "+o2.Machine, experiments.Fig9(o2, *tree, sweep, *seqDepth))
 	case "table3":
-		printTable3(experiments.Table3(o, nil))
+		a.printTable3(experiments.Table3(o, nil))
 	case "fig12":
-		printFig12(experiments.Fig12(o, nil, sweep))
+		a.printFig12(experiments.Fig12(o, nil, sweep))
 	case "all":
 		for _, b := range []string{"pfor", "recpfor"} {
-			printFig6(experiments.Fig6(o, b, nil))
-			printTable2(experiments.Table2(o, b, 0))
+			a.printFig6(experiments.Fig6(o, b, fig6NS))
+			a.printTable2(experiments.Table2(o, b, 0))
 		}
-		printFig7(experiments.Fig7(o, 0))
-		printFig8("Fig. 8: UTS throughput on itoa", experiments.Fig8(o, *tree, sweep, *seqDepth))
+		a.printFig7(experiments.Fig7(o, 0))
+		a.printFig8("Fig. 8: UTS throughput on itoa", experiments.Fig8(o, *tree, sweep, *seqDepth))
 		o2 := o
 		o2.Machine = "wisteria"
-		printFig8("Fig. 9: UTS throughput (ours) on wisteria", experiments.Fig9(o2, *tree, sweep, *seqDepth))
-		printTable3(experiments.Table3(o, nil))
-		printFig12(experiments.Fig12(o, nil, nil))
+		a.printFig8("Fig. 9: UTS throughput (ours) on wisteria", experiments.Fig9(o2, *tree, sweep, *seqDepth))
+		a.printTable3(experiments.Table3(o, nil))
+		a.printFig12(experiments.Fig12(o, nil, nil))
 	default:
-		usage()
+		return usageErr()
 	}
+	return a.writeJSON()
 }
 
-// tsvOut, when set, is the directory TSV series are written into.
-var tsvOut string
+// record adds one experiment's structured rows to the JSON dump.
+func (a *app) record(name string, rows any) {
+	a.sections = append(a.sections, section{Name: name, Rows: rows})
+}
+
+// writeJSON dumps every recorded section when -json was given.
+func (a *app) writeJSON() error {
+	if a.jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(a.sections, "", "  ")
+	if err != nil {
+		return fmt.Errorf("json: %w", err)
+	}
+	buf = append(buf, '\n')
+	if a.jsonPath == "-" {
+		_, err = a.stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(a.jsonPath, buf, 0o644); err != nil {
+		return fmt.Errorf("json: %w", err)
+	}
+	fmt.Fprintf(a.stdout, "(rows written to %s)\n", a.jsonPath)
+	return nil
+}
 
 // writeTSV writes rows of tab-separated values for external plotting.
-func writeTSV(name string, header []string, rows [][]string) {
-	if tsvOut == "" {
+func (a *app) writeTSV(name string, header []string, rows [][]string) {
+	if a.tsvDir == "" {
 		return
 	}
-	if err := os.MkdirAll(tsvOut, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "tsv:", err)
+	if err := os.MkdirAll(a.tsvDir, 0o755); err != nil {
+		fmt.Fprintln(a.stderr, "tsv:", err)
 		return
 	}
-	f, err := os.Create(tsvOut + "/" + name + ".tsv")
+	f, err := os.Create(a.tsvDir + "/" + name + ".tsv")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tsv:", err)
+		fmt.Fprintln(a.stderr, "tsv:", err)
 		return
 	}
 	defer f.Close()
@@ -115,40 +204,36 @@ func writeTSV(name string, header []string, rows [][]string) {
 	for _, r := range rows {
 		fmt.Fprintln(f, strings.Join(r, "\t"))
 	}
-	fmt.Printf("(series written to %s/%s.tsv)\n", tsvOut, name)
+	fmt.Fprintf(a.stdout, "(series written to %s/%s.tsv)\n", a.tsvDir, name)
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|all} [flags]")
-	os.Exit(2)
-}
-
-func parseList(s string) []int {
+func parseList(s string) ([]int, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad workers list %q: %v\n", s, err)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad workers list %q: %v", s, err)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
-func tw() *tabwriter.Writer {
-	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func (a *app) tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(a.stdout, 2, 4, 2, ' ', 0)
 }
 
-func printFig6(rows []experiments.Fig6Row) {
+func (a *app) printFig6(rows []experiments.Fig6Row) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Printf("\n== Fig. 6: %s parallel efficiency on %s ==\n", rows[0].Bench, rows[0].Machine)
-	w := tw()
+	name := "fig6_" + rows[0].Bench + "_" + rows[0].Machine
+	a.record(name, rows)
+	fmt.Fprintf(a.stdout, "\n== Fig. 6: %s parallel efficiency on %s ==\n", rows[0].Bench, rows[0].Machine)
+	w := a.tw()
 	fmt.Fprintln(w, "N\tvariant\tideal(T1/P)\texec\tefficiency")
 	var tsv [][]string
 	for _, r := range rows {
@@ -160,16 +245,16 @@ func printFig6(rows []experiments.Fig6Row) {
 			fmt.Sprintf("%.4f", r.Efficiency)})
 	}
 	w.Flush()
-	writeTSV("fig6_"+rows[0].Bench+"_"+rows[0].Machine,
-		[]string{"N", "variant", "ideal_s", "exec_s", "efficiency"}, tsv)
+	a.writeTSV(name, []string{"N", "variant", "ideal_s", "exec_s", "efficiency"}, tsv)
 }
 
-func printTable2(rows []experiments.Table2Row) {
+func (a *app) printTable2(rows []experiments.Table2Row) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Printf("\n== Table II: join/steal statistics, %s on %s ==\n", rows[0].Bench, rows[0].Machine)
-	w := tw()
+	a.record("table2_"+rows[0].Bench+"_"+rows[0].Machine, rows)
+	fmt.Fprintf(a.stdout, "\n== Table II: join/steal statistics, %s on %s ==\n", rows[0].Bench, rows[0].Machine)
+	w := a.tw()
 	fmt.Fprintln(w, "strategy\texec\t#OJ\tavgOJtime\t#steals(ok)\tavgLatency\t#steals(fail)\tavgStolen\tavgCopy")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%v\t%d\t%v\t%d\t%v\t%d\t%.0fB\t%v\n",
@@ -179,9 +264,10 @@ func printTable2(rows []experiments.Table2Row) {
 	w.Flush()
 }
 
-func printFig7(res experiments.Fig7Result) {
-	fmt.Printf("\n== Fig. 7: RecPFor scheduler activity time series (%d workers) ==\n", res.Workers)
-	fmt.Println("t(ms)\tbusy[greedy]\treadyOJ[greedy]\tbusy[child-full]\treadyOJ[child-full]")
+func (a *app) printFig7(res experiments.Fig7Result) {
+	a.record("fig7", res)
+	fmt.Fprintf(a.stdout, "\n== Fig. 7: RecPFor scheduler activity time series (%d workers) ==\n", res.Workers)
+	fmt.Fprintln(a.stdout, "t(ms)\tbusy[greedy]\treadyOJ[greedy]\tbusy[child-full]\treadyOJ[child-full]")
 	n := len(res.ContGreedy)
 	if len(res.ChildFull) > n {
 		n = len(res.ChildFull)
@@ -199,16 +285,18 @@ func printFig7(res experiments.Fig7Result) {
 			t = s.T.Seconds() * 1e3
 			bc, rc = fmt.Sprint(s.Busy), fmt.Sprint(s.Ready)
 		}
-		fmt.Printf("%.1f\t%s\t%s\t%s\t%s\n", t, bg, rg, bc, rc)
+		fmt.Fprintf(a.stdout, "%.1f\t%s\t%s\t%s\t%s\n", t, bg, rg, bc, rc)
 	}
 }
 
-func printFig8(title string, rows []experiments.Fig8Row) {
+func (a *app) printFig8(title string, rows []experiments.Fig8Row) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Printf("\n== %s, tree %s (%d nodes) ==\n", title, rows[0].Tree, rows[0].Nodes)
-	w := tw()
+	name := "uts_" + rows[0].Tree + "_" + rows[0].Machine
+	a.record(name, rows)
+	fmt.Fprintf(a.stdout, "\n== %s, tree %s (%d nodes) ==\n", title, rows[0].Tree, rows[0].Nodes)
+	w := a.tw()
 	fmt.Fprintln(w, "system\tworkers\texec\tthroughput(Mnodes/s)\tefficiency")
 	var tsv [][]string
 	for _, r := range rows {
@@ -221,13 +309,13 @@ func printFig8(title string, rows []experiments.Fig8Row) {
 			fmt.Sprintf("%.4f", r.Efficiency)})
 	}
 	w.Flush()
-	writeTSV("uts_"+rows[0].Tree+"_"+rows[0].Machine,
-		[]string{"system", "workers", "exec_s", "Mnodes_per_s", "efficiency"}, tsv)
+	a.writeTSV(name, []string{"system", "workers", "exec_s", "Mnodes_per_s", "efficiency"}, tsv)
 }
 
-func printTable3(rows []experiments.Table3Row) {
-	fmt.Printf("\n== Table III: LCS execution times ==\n")
-	w := tw()
+func (a *app) printTable3(rows []experiments.Table3Row) {
+	a.record("table3", rows)
+	fmt.Fprintf(a.stdout, "\n== Table III: LCS execution times ==\n")
+	w := a.tw()
 	fmt.Fprintln(w, "N\tscheduler\texec")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%s\t%v\n", r.N, r.Variant, r.ExecTime)
@@ -235,9 +323,10 @@ func printTable3(rows []experiments.Table3Row) {
 	w.Flush()
 }
 
-func printFig12(rows []experiments.Fig12Row) {
-	fmt.Printf("\n== Fig. 12: LCS vs greedy-scheduling-theorem bounds ==\n")
-	w := tw()
+func (a *app) printFig12(rows []experiments.Fig12Row) {
+	a.record("fig12", rows)
+	fmt.Fprintf(a.stdout, "\n== Fig. 12: LCS vs greedy-scheduling-theorem bounds ==\n")
+	w := a.tw()
 	fmt.Fprintln(w, "N\tworkers\texec\tlower=max(T1/P,Tinf)\tupper=T1/P+Tinf\tin-band")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%v\t%v\n",

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden TSV fixtures under testdata/")
+
+// runGolden executes one repro invocation at small scale, writing TSV into
+// a scratch directory, and diffs each produced series against its committed
+// fixture. `go test ./cmd/repro -update` refreshes the fixtures.
+func runGolden(t *testing.T, argv []string, fixtures []string) {
+	t.Helper()
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	args := append(argv, "-tsv", dir, "-quiet", "-parallel", "4")
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("repro %s: %v", strings.Join(args, " "), err)
+	}
+	for _, name := range fixtures {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("expected TSV series %s was not produced: %v", name, err)
+		}
+		golden := filepath.Join("testdata", name)
+		if *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing fixture %s (create it with `go test ./cmd/repro -update`): %v", golden, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverges from golden fixture.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+func TestGoldenFig6TSV(t *testing.T) {
+	runGolden(t,
+		[]string{"fig6", "-bench", "pfor", "-workers", "18", "-n", "128", "-seed", "7"},
+		[]string{"fig6_pfor_itoa.tsv"})
+}
+
+func TestGoldenFig8TSV(t *testing.T) {
+	runGolden(t,
+		[]string{"fig8", "-tree", "T1L", "-workers-list", "9,18", "-seqdepth", "6", "-seed", "7"},
+		[]string{"uts_T1L'_itoa.tsv"})
+}
+
+// TestCLIParallelByteIdentical drives the full CLI surface (tables to
+// stdout, JSON dump) at -parallel 1 and -parallel 8 and requires
+// byte-identical bytes — the end-to-end form of the sweep determinism
+// guarantee.
+func TestCLIParallelByteIdentical(t *testing.T) {
+	render := func(parallel string) string {
+		var stdout bytes.Buffer
+		err := run([]string{"fig6", "-bench", "recpfor", "-workers", "18", "-n", "64",
+			"-seed", "7", "-json", "-", "-quiet", "-parallel", parallel}, &stdout, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String()
+	}
+	seq := render("1")
+	par := render("8")
+	if seq != par {
+		t.Errorf("-parallel 8 output differs from -parallel 1:\n--- 1 ---\n%s--- 8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "Fig. 6") || !strings.Contains(seq, "\"name\": \"fig6_recpfor_itoa\"") {
+		t.Errorf("output missing table or JSON section:\n%s", seq)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, argv := range [][]string{nil, {"nosuch"}} {
+		if err := run(argv, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) did not fail", argv)
+		}
+	}
+	if _, err := parseList("1,x"); err == nil {
+		t.Error("parseList accepted a malformed list")
+	}
+}

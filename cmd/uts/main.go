@@ -14,8 +14,8 @@ import (
 )
 
 func main() {
-	// The simulation engine is strictly sequential; keeping the Go
-	// scheduler on one OS thread avoids cross-thread handoff cost (~4x).
+	// This driver runs a single engine; one OS thread gives the cheapest
+	// proc handoffs (see the "Host performance" note in internal/sim).
 	runtime.GOMAXPROCS(1)
 	machine := flag.String("machine", "itoa", "itoa or wisteria")
 	workers := flag.Int("workers", 72, "simulated cores")

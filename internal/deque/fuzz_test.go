@@ -1,0 +1,162 @@
+package deque
+
+import (
+	"testing"
+
+	"contsteal/internal/rdma"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// FuzzDequePushPopSteal drives arbitrary interleavings of Push, Pop,
+// PushTop and Steal through the THE protocol in two phases:
+//
+//  1. an exact-model phase — one driver proc interprets the script and
+//     checks every operation's result against a reference slice model
+//     (bottom = slice end, top/steal end = slice front);
+//  2. a concurrency phase — the same script dispatched across an owner
+//     proc and two thief procs with script-derived virtual-time offsets,
+//     checking the global conservation invariant (every pushed value is
+//     consumed exactly once, nothing is invented).
+//
+// The seed corpus encodes the interleavings the runtime's scheduler
+// actually generates (see the op table below for the byte encoding).
+func FuzzDequePushPopSteal(f *testing.F) {
+	// Op encoding: per byte b, b%4 selects the operation
+	//	0 = Push (bottom), 1 = Pop (bottom), 2 = Steal (top), 3 = PushTop
+	// and b/4 spaces the concurrency phase (virtual-time gap between ops).
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1})             // serial spawn/pop (no thief traffic)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}) // deep spawn then unwind (LIFO run)
+	f.Add([]byte{0, 0, 0, 0, 2, 2, 2, 2})             // idle thieves drain a full deque
+	f.Add([]byte{0, 0, 2, 1, 0, 2, 1, 2})             // steals racing the working owner
+	f.Add([]byte{2, 2, 2, 2})                         // failed steals on an empty deque
+	f.Add([]byte{0, 1, 2, 0, 2, 1})                   // THE last-entry race, both orders
+	f.Add([]byte{0, 3, 1, 2, 0, 3, 2, 1})             // Yield: PushTop feeds thieves first
+	f.Add([]byte{0, 64, 65, 128, 2, 192, 1, 6})       // wide time gaps between ops
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 200 {
+			script = script[:200]
+		}
+		fuzzExactModel(t, script)
+		fuzzConcurrent(t, script)
+	})
+}
+
+const fuzzCap = 64 // small capacity so ring wrap-around is exercised
+
+func fuzzSetup() (*sim.Engine, *Deque) {
+	eng := sim.NewEngine()
+	fab := rdma.NewFabric(eng, topo.Uniform(1000), 3, 1<<16)
+	return eng, New(fab, 0, fuzzCap, es)
+}
+
+// fuzzExactModel interprets the script on a single proc and compares every
+// result against the reference slice model.
+func fuzzExactModel(t *testing.T, script []byte) {
+	eng, d := fuzzSetup()
+	var model []uint64 // model[0] is the top (steal end), model[len-1] the bottom
+	next := uint64(0)
+	eng.Go("driver", func(p *sim.Proc) {
+		for i, op := range script {
+			switch op % 4 {
+			case 0: // Push at the bottom
+				if len(model) >= fuzzCap {
+					continue // would overflow by design; overflow panics are tested elsewhere
+				}
+				next++
+				d.Push(p, mk(next), nil)
+				model = append(model, next)
+			case 1: // Pop from the bottom (LIFO)
+				e, _, ok := d.Pop(p)
+				if ok != (len(model) > 0) {
+					t.Fatalf("op %d: Pop ok=%v with model size %d", i, ok, len(model))
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if rd(e) != want {
+						t.Fatalf("op %d: Pop = %d, model says %d", i, rd(e), want)
+					}
+				}
+			case 2: // Steal from the top (FIFO)
+				e, _, ok := d.Steal(p, 1)
+				if ok != (len(model) > 0) {
+					t.Fatalf("op %d: Steal ok=%v with model size %d", i, ok, len(model))
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if rd(e) != want {
+						t.Fatalf("op %d: Steal = %d, model says %d", i, rd(e), want)
+					}
+				}
+			case 3: // PushTop at the steal end
+				if len(model) >= fuzzCap {
+					continue
+				}
+				next++
+				d.PushTop(p, mk(next), nil)
+				model = append([]uint64{next}, model...)
+			}
+			if d.Len() != len(model) {
+				t.Fatalf("op %d: Len() = %d, model size %d", i, d.Len(), len(model))
+			}
+		}
+	})
+	eng.Run(sim.Forever)
+}
+
+// fuzzConcurrent replays the script's owner ops against two concurrently
+// stealing thieves and checks conservation: every pushed value is consumed
+// exactly once (by owner or thief) or still queued at the end.
+func fuzzConcurrent(t *testing.T, script []byte) {
+	eng, d := fuzzSetup()
+	consumed := make(map[uint64]int)
+	pushed := 0
+	eng.Go("owner", func(p *sim.Proc) {
+		v := uint64(0)
+		for _, op := range script {
+			switch op % 4 {
+			case 0, 3:
+				if d.Len() >= fuzzCap-1 {
+					continue
+				}
+				v++
+				pushed++
+				if op%4 == 0 {
+					d.Push(p, mk(v), nil)
+				} else {
+					d.PushTop(p, mk(v), nil)
+				}
+			default:
+				if e, _, ok := d.Pop(p); ok {
+					consumed[rd(e)]++
+				}
+			}
+			p.Sleep(sim.Time(op/4) * 25)
+		}
+	})
+	for r := 1; r <= 2; r++ {
+		gap := sim.Time(300 + 431*r)
+		eng.GoAfter(sim.Time(r), "thief", func(p *sim.Proc) {
+			for range script {
+				p.Sleep(gap)
+				if e, _, ok := d.Steal(p, r); ok {
+					consumed[rd(e)]++
+				}
+			}
+		})
+	}
+	eng.Run(sim.Forever)
+	for v, n := range consumed {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+		if v == 0 || v > uint64(pushed) {
+			t.Fatalf("consumed value %d was never pushed", v)
+		}
+	}
+	if got := len(consumed) + d.Len(); got != pushed {
+		t.Fatalf("conservation: consumed %d + queued %d != pushed %d", len(consumed), d.Len(), pushed)
+	}
+}

@@ -62,6 +62,11 @@ type Options struct {
 	Workers int    // simulated cores (0 = experiment default)
 	Scale   int    // problem-size scale exponent shift (0 = default, +k doubles sizes k times)
 	Seed    int64
+	// Parallel bounds the host worker pool the sweep's independent
+	// simulations run on (see sweep.go). 0 means runtime.NumCPU();
+	// 1 forces the sequential reference order. Results are identical
+	// for every value.
+	Parallel int
 	// WorkScale multiplies UTS per-node work, letting one simulated node
 	// stand for WorkScale nodes of a proportionally larger tree — how the
 	// headline 110,592-core run is fed without simulating hundreds of
@@ -111,7 +116,8 @@ type Fig6Row struct {
 }
 
 // Fig6 sweeps problem size N for both synthetic benchmarks over all five
-// scheduler variants. K=5 and M=10 µs as in §IV-C.
+// scheduler variants. K=5 and M=10 µs as in §IV-C. The N×variant grid runs
+// on the sweep pool; rows come back in grid order.
 func Fig6(o Options, bench string, ns []int) []Fig6Row {
 	o.defaults(72)
 	if ns == nil {
@@ -124,32 +130,37 @@ func Fig6(o Options, bench string, ns []int) []Fig6Row {
 		}
 		ns = base
 	}
-	var rows []Fig6Row
+	var jobs []Job
 	for _, n := range ns {
-		p := workload.DefaultPForParams(n)
-		var task core.TaskFunc
-		var t1 sim.Time
-		if bench == "pfor" {
-			task, t1 = workload.PFor(p), p.T1PFor()
-		} else {
-			task, t1 = workload.RecPFor(p), p.T1RecPFor()
-		}
-		t1 = MachineByName(o.Machine).Compute(t1)
 		for _, v := range Variants() {
-			rt := core.New(runCfg(o, v))
-			_, st := rt.Run(task)
-			rows = append(rows, Fig6Row{
-				Bench:      bench,
-				Machine:    o.Machine,
-				Variant:    v.Name,
-				N:          n,
-				IdealTime:  t1 / sim.Time(o.Workers),
-				ExecTime:   st.ExecTime,
-				Efficiency: st.Efficiency(t1),
+			jobs = append(jobs, Job{
+				Coord: Coord{Experiment: "fig6", Bench: bench, Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+				Run: func() any {
+					p := workload.DefaultPForParams(n)
+					var task core.TaskFunc
+					var t1 sim.Time
+					if bench == "pfor" {
+						task, t1 = workload.PFor(p), p.T1PFor()
+					} else {
+						task, t1 = workload.RecPFor(p), p.T1RecPFor()
+					}
+					t1 = MachineByName(o.Machine).Compute(t1)
+					rt := core.New(runCfg(o, v))
+					_, st := rt.Run(task)
+					return Fig6Row{
+						Bench:      bench,
+						Machine:    o.Machine,
+						Variant:    v.Name,
+						N:          n,
+						IdealTime:  t1 / sim.Time(o.Workers),
+						ExecTime:   st.ExecTime,
+						Efficiency: st.Efficiency(t1),
+					}
+				},
 			})
 		}
 	}
-	return rows
+	return collect[Fig6Row](RunJobs(o.Parallel, jobs))
 }
 
 // ---------------------------------------------------------------------------
@@ -183,36 +194,41 @@ func Table2(o Options, bench string, n int) []Table2Row {
 		}
 		n <<= o.Scale
 	}
-	p := workload.DefaultPForParams(n)
-	task := workload.PFor(p)
-	if bench == "recpfor" {
-		task = workload.RecPFor(p)
-	}
 	variants := []Variant{
 		{"cont-greedy", core.ContGreedy, remobj.LocalCollection},
 		{"cont-stalling", core.ContStalling, remobj.LocalCollection},
 		{"child-full", core.ChildFull, remobj.LocalCollection},
 		{"child-rtc", core.ChildRtC, remobj.LocalCollection},
 	}
-	var rows []Table2Row
+	var jobs []Job
 	for _, v := range variants {
-		rt := core.New(runCfg(o, v))
-		_, st := rt.Run(task)
-		rows = append(rows, Table2Row{
-			Machine:            o.Machine,
-			Bench:              bench,
-			Variant:            v.Name,
-			ExecTime:           st.ExecTime,
-			OutstandingJoins:   st.Join.Outstanding,
-			AvgOutstandingTime: st.AvgOutstandingJoinTime(),
-			StealsOK:           st.Work.StealsOK,
-			AvgStealLatency:    st.AvgStealLatency(),
-			StealsFailed:       st.Work.StealsFail,
-			AvgStolenBytes:     st.AvgStolenBytes(),
-			AvgTaskCopyTime:    st.AvgTaskCopyTime(),
+		jobs = append(jobs, Job{
+			Coord: Coord{Experiment: "table2", Bench: bench, Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+			Run: func() any {
+				p := workload.DefaultPForParams(n)
+				task := workload.PFor(p)
+				if bench == "recpfor" {
+					task = workload.RecPFor(p)
+				}
+				rt := core.New(runCfg(o, v))
+				_, st := rt.Run(task)
+				return Table2Row{
+					Machine:            o.Machine,
+					Bench:              bench,
+					Variant:            v.Name,
+					ExecTime:           st.ExecTime,
+					OutstandingJoins:   st.Join.Outstanding,
+					AvgOutstandingTime: st.AvgOutstandingJoinTime(),
+					StealsOK:           st.Work.StealsOK,
+					AvgStealLatency:    st.AvgStealLatency(),
+					StealsFailed:       st.Work.StealsFail,
+					AvgStolenBytes:     st.AvgStolenBytes(),
+					AvgTaskCopyTime:    st.AvgTaskCopyTime(),
+				}
+			},
 		})
 	}
-	return rows
+	return collect[Table2Row](RunJobs(o.Parallel, jobs))
 }
 
 // ---------------------------------------------------------------------------
@@ -227,29 +243,32 @@ type Fig7Result struct {
 }
 
 // Fig7 traces RecPFor under continuation stealing (greedy) and child
-// stealing (Full) with a periodic sampler.
+// stealing (Full) with a periodic sampler. The two traced runs are
+// independent jobs.
 func Fig7(o Options, n int) Fig7Result {
 	o.defaults(72)
 	if n == 0 {
 		n = (1 << 11) << o.Scale
 	}
-	p := workload.DefaultPForParams(n)
-	res := Fig7Result{Workers: o.Workers}
+	var jobs []Job
 	for _, v := range []Variant{
 		{"greedy", core.ContGreedy, remobj.LocalCollection},
 		{"child-full", core.ChildFull, remobj.LocalCollection},
 	} {
-		cfg := runCfg(o, v)
-		cfg.Sample = 2 * sim.Millisecond
-		rt := core.New(cfg)
-		_, st := rt.Run(workload.RecPFor(p))
-		if v.Policy == core.ContGreedy {
-			res.ContGreedy = st.Series
-		} else {
-			res.ChildFull = st.Series
-		}
+		jobs = append(jobs, Job{
+			Coord: Coord{Experiment: "fig7", Bench: "recpfor", Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+			Run: func() any {
+				p := workload.DefaultPForParams(n)
+				cfg := runCfg(o, v)
+				cfg.Sample = 2 * sim.Millisecond
+				rt := core.New(cfg)
+				_, st := rt.Run(workload.RecPFor(p))
+				return st.Series
+			},
+		})
 	}
-	return res
+	series := collect[[]core.Sample](RunJobs(o.Parallel, jobs))
+	return Fig7Result{Workers: o.Workers, ContGreedy: series[0], ChildFull: series[1]}
 }
 
 // ---------------------------------------------------------------------------
@@ -366,18 +385,29 @@ func UTSOnce(o Options, system, tree string, workers, seqDepth int) Fig8Row {
 	return row
 }
 
+// utsJob wraps one UTSOnce configuration as a sweep job.
+func utsJob(o Options, experiment, system, tree string, workers, seqDepth int) Job {
+	if o.Seed == 0 {
+		o.Seed = 42 // mirror defaults() so the coordinates name the real seed
+	}
+	return Job{
+		Coord: Coord{Experiment: experiment, Tree: tree, System: system, Workers: workers, Seed: o.Seed},
+		Run:   func() any { return UTSOnce(o, system, tree, workers, seqDepth) },
+	}
+}
+
 // Fig8 sweeps worker counts for every system on the given tree.
 func Fig8(o Options, tree string, workerCounts []int, seqDepth int) []Fig8Row {
 	if workerCounts == nil {
 		workerCounts = []int{36, 72, 144, 288, 576}
 	}
-	var rows []Fig8Row
+	var jobs []Job
 	for _, system := range []string{"ours", "saws", "charm", "glb"} {
 		for _, w := range workerCounts {
-			rows = append(rows, UTSOnce(o, system, tree, w, seqDepth))
+			jobs = append(jobs, utsJob(o, "fig8", system, tree, w, seqDepth))
 		}
 	}
-	return rows
+	return collect[Fig8Row](RunJobs(o.Parallel, jobs))
 }
 
 // Fig9 sweeps worker counts for our runtime only (the paper ran it alone on
@@ -389,11 +419,11 @@ func Fig9(o Options, tree string, workerCounts []int, seqDepth int) []Fig8Row {
 	if workerCounts == nil {
 		workerCounts = []int{48, 192, 768, 3072}
 	}
-	var rows []Fig8Row
+	var jobs []Job
 	for _, w := range workerCounts {
-		rows = append(rows, UTSOnce(o, "ours", tree, w, seqDepth))
+		jobs = append(jobs, utsJob(o, "fig9", "ours", tree, w, seqDepth))
 	}
-	return rows
+	return collect[Fig8Row](RunJobs(o.Parallel, jobs))
 }
 
 // ---------------------------------------------------------------------------
@@ -413,22 +443,27 @@ func Table3(o Options, ns []int) []Table3Row {
 	if ns == nil {
 		ns = []int{(1 << 14) << o.Scale, (1 << 15) << o.Scale}
 	}
-	var rows []Table3Row
+	var jobs []Job
 	for _, n := range ns {
-		p := workload.DefaultLCSParams(n)
 		for _, v := range []Variant{
 			{"cont-greedy", core.ContGreedy, remobj.LocalCollection},
 			{"cont-stalling", core.ContStalling, remobj.LocalCollection},
 			{"child-full", core.ChildFull, remobj.LocalCollection},
 		} {
-			cfg := runCfg(o, v)
-			cfg.RetvalBytes = p.RetvalBytes()
-			rt := core.New(cfg)
-			_, st := rt.Run(workload.LCS(p))
-			rows = append(rows, Table3Row{N: n, Variant: v.Name, ExecTime: st.ExecTime})
+			jobs = append(jobs, Job{
+				Coord: Coord{Experiment: "table3", Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+				Run: func() any {
+					p := workload.DefaultLCSParams(n)
+					cfg := runCfg(o, v)
+					cfg.RetvalBytes = p.RetvalBytes()
+					rt := core.New(cfg)
+					_, st := rt.Run(workload.LCS(p))
+					return Table3Row{N: n, Variant: v.Name, ExecTime: st.ExecTime}
+				},
+			})
 		}
 	}
-	return rows
+	return collect[Table3Row](RunJobs(o.Parallel, jobs))
 }
 
 // Fig12Row is one point of Fig. 12: measured time against the
@@ -452,32 +487,37 @@ func Fig12(o Options, ns []int, workerCounts []int) []Fig12Row {
 	if workerCounts == nil {
 		workerCounts = []int{18, 36, 72, 144, 288}
 	}
-	mach := MachineByName(o.Machine)
-	var rows []Fig12Row
+	var jobs []Job
 	for _, n := range ns {
-		p := workload.DefaultLCSParams(n)
-		t1 := mach.Compute(p.T1())
-		tinf := mach.Compute(p.TInf())
 		for _, w := range workerCounts {
-			v := Variant{"greedy", core.ContGreedy, remobj.LocalCollection}
-			cfg := runCfg(o, v)
-			cfg.Workers = w
-			cfg.RetvalBytes = p.RetvalBytes()
-			rt := core.New(cfg)
-			_, st := rt.Run(workload.LCS(p))
-			lower := t1 / sim.Time(w)
-			if tinf > lower {
-				lower = tinf
-			}
-			upper := t1/sim.Time(w) + tinf
-			rows = append(rows, Fig12Row{
-				N: n, Workers: w, ExecTime: st.ExecTime,
-				LowerBound: lower, UpperBound: upper,
-				// Real schedulers may exceed the zero-overhead bound
-				// slightly (§V-D); report band membership with 10% slack.
-				InBand: st.ExecTime >= lower && float64(st.ExecTime) <= 1.10*float64(upper),
+			jobs = append(jobs, Job{
+				Coord: Coord{Experiment: "fig12", Variant: "greedy", N: n, Workers: w, Seed: o.Seed},
+				Run: func() any {
+					mach := MachineByName(o.Machine)
+					p := workload.DefaultLCSParams(n)
+					t1 := mach.Compute(p.T1())
+					tinf := mach.Compute(p.TInf())
+					v := Variant{"greedy", core.ContGreedy, remobj.LocalCollection}
+					cfg := runCfg(o, v)
+					cfg.Workers = w
+					cfg.RetvalBytes = p.RetvalBytes()
+					rt := core.New(cfg)
+					_, st := rt.Run(workload.LCS(p))
+					lower := t1 / sim.Time(w)
+					if tinf > lower {
+						lower = tinf
+					}
+					upper := t1/sim.Time(w) + tinf
+					return Fig12Row{
+						N: n, Workers: w, ExecTime: st.ExecTime,
+						LowerBound: lower, UpperBound: upper,
+						// Real schedulers may exceed the zero-overhead bound
+						// slightly (§V-D); report band membership with 10% slack.
+						InBand: st.ExecTime >= lower && float64(st.ExecTime) <= 1.10*float64(upper),
+					}
+				},
 			})
 		}
 	}
-	return rows
+	return collect[Fig12Row](RunJobs(o.Parallel, jobs))
 }

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSweepDeterministicUnderParallelism is the contract the whole PR rests
+// on: the same grid run on 1 host worker and on 8 host workers must produce
+// byte-identical rows in identical order. It runs under -race in CI.
+func TestSweepDeterministicUnderParallelism(t *testing.T) {
+	render := func(parallel int) string {
+		o := Options{Machine: "itoa", Workers: 18, Seed: 7, Parallel: parallel}
+		var b strings.Builder
+		for _, r := range Fig6(o, "pfor", []int{64, 128}) {
+			fmt.Fprintf(&b, "%+v\n", r)
+		}
+		for _, r := range Fig8(o, "T1L", []int{9, 18}, 6) {
+			fmt.Fprintf(&b, "%+v\n", r)
+		}
+		for _, r := range Table3(o, []int{1 << 11}) {
+			fmt.Fprintf(&b, "%+v\n", r)
+		}
+		res := Fig7(o, 128)
+		fmt.Fprintf(&b, "%+v\n", res)
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("parallel sweep output diverges from sequential run:\n--- parallel=1 ---\n%s--- parallel=8 ---\n%s", seq, par)
+	}
+	if strings.TrimSpace(seq) == "" {
+		t.Fatal("sweep produced no rows")
+	}
+}
+
+func TestRunJobsGridOrder(t *testing.T) {
+	// Jobs finish in reverse submission order (later jobs sleep less); the
+	// results must still come back in grid order.
+	const n = 16
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Coord: Coord{Experiment: "order", Workers: i},
+			Run: func() any {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i
+			},
+		}
+	}
+	for _, pool := range []int{1, 4, n} {
+		results := RunJobs(pool, jobs)
+		for i, r := range results {
+			if r.(int) != i {
+				t.Fatalf("pool=%d: results[%d] = %v, want %d", pool, i, r, i)
+			}
+		}
+	}
+}
+
+func TestRunJobsPanicBarrierReportsCoordinates(t *testing.T) {
+	bad := Coord{Experiment: "fig6", Bench: "recpfor", Variant: "greedy", N: 512, Workers: 72, Seed: 42}
+	jobs := []Job{
+		{Coord: Coord{Experiment: "fig6", Variant: "baseline", Workers: 72}, Run: func() any { return 1 }},
+		{Coord: bad, Run: func() any { panic("diverged") }},
+		{Coord: Coord{Experiment: "fig6", Variant: "child-full", Workers: 72}, Run: func() any { return 3 }},
+	}
+	for _, pool := range []int{2, 8} {
+		func() {
+			done := make(chan struct{})
+			var recovered any
+			go func() {
+				defer close(done)
+				defer func() { recovered = recover() }()
+				RunJobs(pool, jobs)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("pool=%d: sweep hung after job panic", pool)
+			}
+			je, ok := recovered.(*JobError)
+			if !ok {
+				t.Fatalf("pool=%d: recovered %T (%v), want *JobError", pool, recovered, recovered)
+			}
+			if je.Coord != bad {
+				t.Errorf("pool=%d: JobError coordinates %+v, want %+v", pool, je.Coord, bad)
+			}
+			for _, want := range []string{"fig6", "bench=recpfor", "variant=greedy", "N=512", "workers=72", "seed=42", "diverged"} {
+				if !strings.Contains(je.Error(), want) {
+					t.Errorf("pool=%d: error %q missing %q", pool, je.Error(), want)
+				}
+			}
+			if len(je.Stack) == 0 {
+				t.Errorf("pool=%d: JobError carries no stack", pool)
+			}
+		}()
+	}
+}
+
+func TestRunJobsSequentialPanicPropagates(t *testing.T) {
+	// With pool=1 the job runs inline and the original panic value
+	// propagates unwrapped (full fidelity for single-run debugging).
+	defer func() {
+		if r := recover(); r != "raw" {
+			t.Errorf("recovered %v, want raw panic value", r)
+		}
+	}()
+	RunJobs(1, []Job{{Coord: Coord{Experiment: "x"}, Run: func() any { panic("raw") }}})
+}
+
+func TestProgressHookSerializedAndComplete(t *testing.T) {
+	old := Progress
+	defer func() { Progress = old }()
+
+	var mu sync.Mutex
+	var dones []int
+	var coords []Coord
+	Progress = func(done, total int, c Coord, wall time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != 6 {
+			t.Errorf("total = %d, want 6", total)
+		}
+		dones = append(dones, done)
+		coords = append(coords, c)
+	}
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Coord: Coord{Experiment: "p", Workers: i}, Run: func() any { return i }}
+	}
+	RunJobs(3, jobs)
+	if len(dones) != 6 {
+		t.Fatalf("progress fired %d times, want 6", len(dones))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Errorf("done sequence %v not monotonically 1..6", dones)
+			break
+		}
+	}
+	seen := map[int]bool{}
+	for _, c := range coords {
+		seen[c.Workers] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("progress reported %d distinct jobs, want 6", len(seen))
+	}
+}

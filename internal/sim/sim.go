@@ -27,9 +27,30 @@
 // is assigned when the event is scheduled, so simultaneous events fire in
 // scheduling order (FIFO). No real time, map iteration order, or goroutine
 // scheduling decision can influence the simulation.
+//
+// # Host performance
+//
+// Every proc handoff is a goroutine-to-goroutine channel rendezvous. With a
+// single OS thread available (GOMAXPROCS=1) the Go scheduler keeps these
+// handoffs on-thread, which is ~4x cheaper than cross-thread wakeups — the
+// right setting when one simulation owns the whole process. When many
+// engines run concurrently (parallel experiment sweeps, one engine per
+// host goroutine), leave GOMAXPROCS alone: all host threads stay busy, the
+// handoffs amortize, and determinism is unaffected either way because each
+// engine's event order never depends on goroutine scheduling.
+//
+// # Failure propagation
+//
+// A panic inside a proc body is captured and re-raised as a *ProcPanic
+// from the Engine.Run call driving the simulation — i.e. on the caller's
+// goroutine, where it can be recovered per run. The engine shuts down its
+// remaining procs first, so no goroutines leak past the failure.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Time is a virtual timestamp or duration in nanoseconds. The simulation
 // starts at time 0. Time is a distinct type (not time.Duration) to make it
@@ -106,6 +127,25 @@ const (
 // Engine.Shutdown. It never escapes the package.
 type killed struct{}
 
+// ProcPanic is the payload Engine.Run re-panics with when a proc body
+// panicked: the proc's identity, the virtual time of the failure, the
+// original panic value, and the proc goroutine's stack at the point of the
+// panic.
+type ProcPanic struct {
+	Proc  string // name of the panicking proc
+	T     Time   // virtual time of the panic
+	Value any    // original panic value
+	Stack []byte // proc goroutine stack trace
+}
+
+func (pp *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: panic in proc %q at t=%v: %v", pp.Proc, pp.T, pp.Value)
+}
+
+func (pp *ProcPanic) String() string {
+	return pp.Error() + "\n" + string(pp.Stack)
+}
+
 // event is a single entry in the engine's priority queue: either a proc
 // wake-up (p != nil) or a callback (fn != nil).
 type event struct {
@@ -128,6 +168,7 @@ type Engine struct {
 	procs   map[*Proc]struct{} // live (non-dead) procs
 	parked  int
 	stopped bool
+	fail    *ProcPanic   // set by a panicking proc, re-raised by Run
 	trace   func(string) // optional debug trace hook
 }
 
@@ -211,9 +252,16 @@ func (e *Engine) GoAfter(d Time, name string, body func(p *Proc)) *Proc {
 						if _, ok := r.(killed); ok {
 							return
 						}
-						// Real panic in simulation code: surface it with the
-						// proc's identity, then crash as usual.
-						panic(fmt.Sprintf("sim: panic in proc %q at t=%v: %v", p.name, e.now, r))
+						// Real panic in simulation code: record it with the
+						// proc's identity and stack. The proc dies normally
+						// (yielding below); Engine.Run re-raises the failure
+						// on the goroutine driving the simulation, where it
+						// can be recovered per run.
+						buf := make([]byte, 64<<10)
+						pp := &ProcPanic{Proc: p.name, T: e.now, Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+						if e.fail == nil {
+							e.fail = pp
+						}
 					}
 				}()
 				body(p)
@@ -261,6 +309,15 @@ func (e *Engine) Run(until Time) Time {
 			p.wake <- wakeRun
 			<-e.yield
 			e.current = nil
+			if e.fail != nil {
+				// A proc body panicked. Tear the remaining procs down so no
+				// goroutine leaks, then re-raise on this (the caller's)
+				// goroutine.
+				pp := e.fail
+				e.fail = nil
+				e.Shutdown()
+				panic(pp)
+			}
 		}
 	}
 	return e.now

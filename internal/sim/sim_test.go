@@ -411,3 +411,48 @@ func BenchmarkCallbackEvent(b *testing.B) {
 	b.ResetTimer()
 	e.Run(Forever)
 }
+
+func TestProcPanicPropagatesToRunCaller(t *testing.T) {
+	// A panic inside a proc body must surface from Engine.Run as a
+	// *ProcPanic on the caller's goroutine (so embedders can recover it per
+	// run), and every other proc must be torn down — no leaked goroutines.
+	e := NewEngine()
+	e.Go("bystander", func(p *Proc) { p.Park() })
+	e.GoAfter(50, "bad", func(p *Proc) {
+		p.Sleep(25)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		pp, ok := r.(*ProcPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *ProcPanic", r, r)
+		}
+		if pp.Proc != "bad" || pp.T != 75 || pp.Value != "boom" {
+			t.Errorf("ProcPanic = %q t=%v value=%v, want bad/75/boom", pp.Proc, pp.T, pp.Value)
+		}
+		if len(pp.Stack) == 0 {
+			t.Error("ProcPanic carries no stack")
+		}
+		if e.Live() != 0 {
+			t.Errorf("%d procs alive after failed run; engine did not shut down", e.Live())
+		}
+	}()
+	e.Run(Forever)
+	t.Fatal("Run returned normally despite proc panic")
+}
+
+func TestProcPanicRecoveredInBodyIsNotFatal(t *testing.T) {
+	// A body that recovers its own panic keeps the simulation alive.
+	e := NewEngine()
+	ran := false
+	e.Go("selfheal", func(p *Proc) {
+		defer func() { recover() }()
+		panic("contained")
+	})
+	e.GoAfter(10, "after", func(p *Proc) { ran = true })
+	e.Run(Forever)
+	if !ran {
+		t.Error("simulation did not continue after a recovered proc panic")
+	}
+}
