@@ -57,6 +57,16 @@ func TestGoldenFig8TSV(t *testing.T) {
 		[]string{"uts_T1L'_itoa.tsv"})
 }
 
+// TestGoldenFig9TSV pins the deepest UTS workload (T1WL', the fig9/wisteria
+// configuration) as a golden fixture. The seqdepth keeps the slice small
+// enough for CI while still exercising thousands of steals, migrations and
+// remote frees — the byte-identical gate for engine-internals changes.
+func TestGoldenFig9TSV(t *testing.T) {
+	runGolden(t,
+		[]string{"fig9", "-tree", "T1WL", "-workers-list", "12,24", "-seqdepth", "10", "-seed", "7"},
+		[]string{"uts_T1WL'_wisteria.tsv"})
+}
+
 // TestCLIParallelByteIdentical drives the full CLI surface (tables to
 // stdout, JSON dump) at -parallel 1 and -parallel 8 and requires
 // byte-identical bytes — the end-to-end form of the sweep determinism
