@@ -31,12 +31,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"contsteal/internal/experiments"
+	"contsteal/internal/sim"
 )
 
 func main() {
@@ -90,8 +92,40 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	jsonPath := fs.String("json", "", `also dump all rows as JSON to this file ("-" = stdout)`)
 	parallel := fs.Int("parallel", runtime.NumCPU(), "host worker pool for the sweep grid (1 = sequential)")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress lines on stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	engineStats := fs.Bool("engine-stats", false, "print per-job engine counters (events, handoffs, callbacks, events/s) on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+			}
+		}()
 	}
 	if *parallel == 1 {
 		// A sequential sweep is one engine at a time; keep the Go scheduler
@@ -115,6 +149,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "[%d/%d] %s (%.2fs)\n", done, total, c, wall.Seconds())
 		}
 		defer func() { experiments.Progress = nil }()
+	}
+	if *engineStats {
+		experiments.EngineStats = func(c experiments.Coord, es sim.EngineStats, wall time.Duration) {
+			fmt.Fprintf(stderr, "engine [%s] events=%d handoffs=%d callbacks=%d events/s=%.2fM\n",
+				c, es.Events, es.Handoffs, es.Callbacks, float64(es.Events)/wall.Seconds()/1e6)
+		}
+		defer func() { experiments.EngineStats = nil }()
 	}
 
 	var fig6NS []int

@@ -179,7 +179,7 @@ func RunCharm(cfg Config, root Task, expand Expand) Stats {
 		}
 	}
 	for r := 0; r < cfg.Workers; r++ {
-		eng.Go(fmt.Sprintf("charm%d", r), body(r))
+		eng.GoID("charm", int64(r), body(r))
 	}
 	end := eng.Run(cfg.MaxTime)
 	if eng.Live() > 0 {

@@ -208,7 +208,7 @@ func RunGLB(cfg Config, root Task, expand Expand) Stats {
 		}
 	}
 	for r := 0; r < cfg.Workers; r++ {
-		eng.Go(fmt.Sprintf("glb%d", r), body(r))
+		eng.GoID("glb", int64(r), body(r))
 	}
 	end := eng.Run(cfg.MaxTime)
 	if eng.Live() > 0 {

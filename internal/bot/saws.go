@@ -225,7 +225,7 @@ func RunSAWS(cfg Config, root Task, expand Expand) Stats {
 		}
 	}
 	for _, w := range ws {
-		eng.Go(fmt.Sprintf("saws%d", w.rank), body(w))
+		eng.GoID("saws", int64(w.rank), body(w))
 	}
 	end := eng.Run(cfg.MaxTime)
 	if eng.Live() > 0 {

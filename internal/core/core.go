@@ -254,7 +254,7 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 // aggregated statistics.
 func (rt *Runtime) Run(root TaskFunc) ([]byte, RunStats) {
 	for _, w := range rt.workers {
-		w.proc = rt.eng.Go(fmt.Sprintf("worker%d", w.rank), w.schedule)
+		w.proc = rt.eng.GoID("worker", int64(w.rank), w.schedule)
 	}
 	rt.workers[0].rootTask = root
 	if rt.cfg.Sample > 0 {
@@ -303,6 +303,7 @@ func (rt *Runtime) collect(end sim.Time) RunStats {
 		Series:   rt.series,
 	}
 	rs.IsoVirtualBytes = rt.isoHigh
+	rs.Engine = rt.eng.Stats()
 	for _, w := range rt.workers {
 		rs.Work.add(&w.st)
 		rs.Stack.Evacuations += w.ua.St.Evacuations

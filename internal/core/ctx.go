@@ -172,3 +172,9 @@ func Int64Ret(v int64) []byte {
 	binary.LittleEndian.PutUint64(b, uint64(v))
 	return b
 }
+
+// RetInt64 decodes a return value produced by Int64Ret (e.g. the root
+// task's result from Runtime.Run).
+func RetInt64(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
+}

@@ -55,8 +55,10 @@ func (w *Worker) schedule(p *sim.Proc) {
 			p.Park()
 			continue
 		}
-		// 4. Periodic remote-object collection.
-		if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail%collectEvery == 0 {
+		// 4. Periodic remote-object collection. StealsFail stays 0 on a
+		// single worker (step 2 never runs), which without the > 0 guard
+		// would drain the queue on every idle loop.
+		if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail > 0 && w.st.StealsFail%collectEvery == 0 {
 			rt.objs.Collect(p, w.rank)
 		}
 		p.Sleep(idleBackoff)
@@ -186,7 +188,7 @@ func (w *Worker) scheduleRtC(p *sim.Proc) {
 	}
 	for !rt.done {
 		if !w.tryRunOneRtC(p) {
-			if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail%collectEvery == 0 {
+			if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail > 0 && w.st.StealsFail%collectEvery == 0 {
 				rt.objs.Collect(p, w.rank)
 			}
 			p.Sleep(idleBackoff)

@@ -62,6 +62,11 @@ type RunStats struct {
 	Mem    remobj.Stats
 	Stack  uniaddr.Stats
 
+	// Engine carries the host-side DES engine counters of the run (events
+	// dispatched, goroutine handoffs, completion callbacks) — the split-phase
+	// engine's cost model, not a simulated quantity. See sim.EngineStats.
+	Engine sim.EngineStats
+
 	Series []Sample
 
 	// IsoVirtualBytes is the high-water mark of globally unique virtual

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 
 	"contsteal/internal/deque"
@@ -196,7 +195,7 @@ func newContThread(w *Worker, fn TaskFunc, hdl Handle, parentID int64, isRoot bo
 // must have made the thread current on its worker.
 func (t *Thread) start() {
 	t.state = tRunning
-	t.proc = t.rt.eng.Go(fmt.Sprintf("thread%d", t.id), t.main)
+	t.proc = t.rt.eng.GoID("thread", t.id, t.main)
 }
 
 // main is the thread body: run the task function, then die according to the

@@ -217,44 +217,70 @@ func (d *Deque) take(slot int64) ([]byte, any) {
 
 // Steal removes and returns the top entry on behalf of a remote thief
 // (FIFO). The full one-sided protocol is driven from thiefRank's side and
-// charged to p. On failure it reports whether the deque looked empty or the
-// lock was contended via the deque's stats.
+// charged to p, as a single completion chain: every sub-operation's memory
+// access fires at the same virtual instant as in a blocking formulation,
+// but the thief's proc parks only once for the whole protocol. On failure
+// it reports whether the deque looked empty or the lock was contended via
+// the deque's stats.
 func (d *Deque) Steal(p *sim.Proc, thiefRank int) ([]byte, any, bool) {
+	fab := d.fab
+	c := fab.Eng.NewChain(p)
+	hdrLoc := d.loc(offTop, 16)
+	lockLoc := d.loc(offLock, 8)
+	var (
+		hdr   [16]byte
+		entry []byte
+		obj   any
+		ok    bool
+	)
 	// Fast empty check: one 16-byte get of (top, bottom).
-	var hdr [16]byte
-	d.fab.Get(p, thiefRank, d.loc(offTop, 16), hdr[:])
-	t := int64(le(hdr[0:8]))
-	b := int64(le(hdr[8:16]))
-	if t >= b {
-		d.St.StealsEmpty++
-		return nil, nil, false
-	}
-	// Lock.
-	if d.fab.CAS(p, thiefRank, d.loc(offLock, 8), 0, 1) != 0 {
-		d.St.StealsContended++
-		return nil, nil, false
-	}
-	// Recheck under the lock.
-	d.fab.Get(p, thiefRank, d.loc(offTop, 16), hdr[:])
-	t = int64(le(hdr[0:8]))
-	b = int64(le(hdr[8:16]))
-	if t >= b {
-		d.fab.PutInt64(p, thiefRank, d.loc(offLock, 8), 0)
-		d.St.StealsEmpty++
-		return nil, nil, false
-	}
-	// Read the top descriptor.
-	entry := make([]byte, d.entrySize)
-	d.fab.Get(p, thiefRank, d.loc(d.entryOff(t), d.entrySize), entry)
-	// Advance top, then unlock.
-	d.fab.PutInt64(p, thiefRank, d.loc(offTop, 8), t+1)
-	d.fab.PutInt64(p, thiefRank, d.loc(offLock, 8), 0)
-	// Simulator bookkeeping: hand over the Go-side payload.
-	i := d.slotIndex(t)
-	obj := d.objs[i]
-	d.objs[i] = nil
-	d.St.StealsOK++
-	return entry, obj, true
+	fab.GetAsync(c, thiefRank, hdrLoc, hdr[:], func() {
+		t := int64(le(hdr[0:8]))
+		b := int64(le(hdr[8:16]))
+		if t >= b {
+			d.St.StealsEmpty++
+			c.Complete()
+			return
+		}
+		// Lock.
+		fab.CASAsync(c, thiefRank, lockLoc, 0, 1, func(observed int64) {
+			if observed != 0 {
+				d.St.StealsContended++
+				c.Complete()
+				return
+			}
+			// Recheck under the lock.
+			fab.GetAsync(c, thiefRank, hdrLoc, hdr[:], func() {
+				t = int64(le(hdr[0:8]))
+				b = int64(le(hdr[8:16]))
+				if t >= b {
+					fab.PutInt64Async(c, thiefRank, lockLoc, 0, func() {
+						d.St.StealsEmpty++
+						c.Complete()
+					})
+					return
+				}
+				// Read the top descriptor.
+				entry = make([]byte, d.entrySize)
+				fab.GetAsync(c, thiefRank, d.loc(d.entryOff(t), d.entrySize), entry, func() {
+					// Advance top, then unlock.
+					fab.PutInt64Async(c, thiefRank, d.loc(offTop, 8), t+1, func() {
+						fab.PutInt64Async(c, thiefRank, lockLoc, 0, func() {
+							// Simulator bookkeeping: hand over the payload.
+							i := d.slotIndex(t)
+							obj = d.objs[i]
+							d.objs[i] = nil
+							ok = true
+							d.St.StealsOK++
+							c.Complete()
+						})
+					})
+				})
+			})
+		})
+	})
+	c.Wait()
+	return entry, obj, ok
 }
 
 func le(b []byte) uint64 {

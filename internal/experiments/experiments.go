@@ -13,6 +13,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"contsteal/internal/bot"
 	"contsteal/internal/core"
@@ -21,6 +23,26 @@ import (
 	"contsteal/internal/topo"
 	"contsteal/internal/workload"
 )
+
+// EngineStats, when non-nil, is invoked after each fork-join runtime job
+// finishes, with the job's coordinates, the DES engine's host-side counters
+// (see sim.EngineStats) and the job's host wall time — events/wall is the
+// engine's host throughput. Calls are serialized across pool workers, like
+// Progress. cmd/repro wires it to -engine-stats.
+var EngineStats func(c Coord, es sim.EngineStats, wall time.Duration)
+
+var engineStatsMu sync.Mutex
+
+// reportEngine invokes the EngineStats hook under its serializing mutex.
+func reportEngine(c Coord, es sim.EngineStats, wall time.Duration) {
+	hook := EngineStats
+	if hook == nil {
+		return
+	}
+	engineStatsMu.Lock()
+	hook(c, es, wall)
+	engineStatsMu.Unlock()
+}
 
 // Variant is one scheduler configuration of §V-A/§V-B: a policy plus a
 // remote-free strategy.
@@ -353,18 +375,24 @@ func UTSOnce(o Options, system, tree string, workers, seqDepth int) Fig8Row {
 	if o.WorkScale > 1 {
 		t.NodeWork *= sim.Time(o.WorkScale)
 	}
-	nodes := t.CountSerial()
-	serial := UTSSerialTime(MachineByName(o.Machine), t, nodes)
-	row := Fig8Row{System: system, Tree: t.Name, Machine: o.Machine, Workers: workers, Nodes: nodes}
+	row := Fig8Row{System: system, Tree: t.Name, Machine: o.Machine, Workers: workers}
+	var nodes int64
 	switch system {
 	case "ours":
 		cfg := runCfg(o, Variant{"greedy", core.ContGreedy, remobj.LocalCollection})
 		cfg.Workers = workers
 		cfg.DequeCap = o.DequeCap
 		rt := core.New(cfg)
-		_, st := rt.Run(workload.UTS(t, seqDepth))
+		start := time.Now()
+		ret, st := rt.Run(workload.UTS(t, seqDepth))
+		// The traversal's own result is the node count — recounting the
+		// tree serially here would redo millions of SHA-1s per grid point.
+		nodes = core.RetInt64(ret)
 		row.ExecTime = st.ExecTime
+		reportEngine(Coord{Experiment: "uts", System: system, Tree: t.Name,
+			Workers: workers, Seed: o.Seed}, st.Engine, time.Since(start))
 	default:
+		nodes = t.Count()
 		root, expand := botExpand(t)
 		cfg := botConfig(o, workers)
 		var st bot.Stats
@@ -380,6 +408,8 @@ func UTSOnce(o Options, system, tree string, workers, seqDepth int) Fig8Row {
 		}
 		row.ExecTime = st.Exec
 	}
+	row.Nodes = nodes
+	serial := UTSSerialTime(MachineByName(o.Machine), t, nodes)
 	row.Throughput = float64(nodes) / row.ExecTime.Seconds()
 	row.Efficiency = float64(serial) / float64(row.ExecTime) / float64(workers)
 	return row

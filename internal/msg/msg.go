@@ -70,19 +70,34 @@ func (n *Net) Send(p *sim.Proc, from, to int, m Msg) {
 	p.Sleep(InjectCost)
 }
 
-// Poll removes and returns the oldest pending message for rank, charging
-// the receive-side software overhead. ok is false when the mailbox is
-// empty (a cheap local check).
-func (n *Net) Poll(p *sim.Proc, rank int) (Msg, bool) {
+// PollAsync removes the oldest pending message for rank as one link of
+// chain c. The mailbox pop happens at issue time (so a message arriving
+// during the overhead window is not observed by this poll, exactly as in
+// the blocking form); `then` runs after the receive-side software overhead
+// (hit) or the local-check cost (miss).
+func (n *Net) PollAsync(c *sim.Chain, rank int, then func(m Msg, ok bool)) {
 	if len(n.boxes[rank]) == 0 {
-		p.Sleep(n.Mach.LocalOp)
-		return Msg{}, false
+		c.Then(n.Mach.LocalOp, func() { then(Msg{}, false) })
+		return
 	}
 	m := n.boxes[rank][0]
 	n.boxes[rank] = n.boxes[rank][1:]
 	n.st[rank].Received++
-	p.Sleep(SoftwareOverhead)
-	return m, true
+	c.Then(SoftwareOverhead, func() { then(m, true) })
+}
+
+// Poll removes and returns the oldest pending message for rank, charging
+// the receive-side software overhead. ok is false when the mailbox is
+// empty (a cheap local check). Blocking wrapper over PollAsync.
+func (n *Net) Poll(p *sim.Proc, rank int) (Msg, bool) {
+	var (
+		out Msg
+		ok  bool
+	)
+	c := n.Eng.NewChain(p)
+	n.PollAsync(c, rank, func(m Msg, o bool) { out, ok = m, o; c.Complete() })
+	c.Wait()
+	return out, ok
 }
 
 // Pending returns the number of queued messages for rank without cost.

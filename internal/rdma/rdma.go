@@ -10,13 +10,21 @@
 // "location" notion (§III-A: "the worker ID of the owner, the virtual
 // address, and the size").
 //
-// Timing: an operation issued by rank F against rank T sleeps for the
+// Timing: an operation issued by rank F against rank T completes after the
 // machine model's one-sided latency (intra- vs inter-node, plus payload
-// transfer time and an atomic surcharge) and then performs the memory
-// access, so operations from different workers interleave in completion
-// order — the property the THE protocol and the greedy-join race depend on.
-// Operations by a rank on its own segment are free of network latency (the
-// caller charges local costs separately).
+// transfer time and an atomic surcharge) and performs its memory access at
+// that completion instant, so operations from different workers interleave
+// in completion order — the property the THE protocol and the greedy-join
+// race depend on. Operations by a rank on its own segment are free of
+// network latency (the caller charges local costs separately).
+//
+// The fabric is split-phase: the *Async methods issue an operation onto a
+// sim.Chain and invoke a completion callback at the op's completion time
+// (local ops run the callback inline), so multi-op protocols execute as
+// engine-loop callbacks with a single proc handoff at the end. The blocking
+// methods (Get, Put, CAS, ...) are thin park-until-complete wrappers over
+// the async ones and are exactly equivalent in virtual time: each remote op
+// consumes one event and one sequence number either way.
 package rdma
 
 import (
@@ -138,57 +146,163 @@ func (f *Fabric) AllocStatic(rank, size int) Addr { return f.segs[rank].allocSta
 // Free returns a block previously obtained from Alloc to rank's free list.
 func (f *Fabric) Free(rank int, addr Addr, size int) { f.segs[rank].free(addr, size) }
 
-// latency sleeps p for the duration of a one-sided op and counts it.
-func (f *Fabric) latency(p *sim.Proc, from int, to int32, size int, atomic bool) bool {
+// local reports whether the op is a same-rank access, counting it if so.
+// Self-accesses carry no network latency and complete inline.
+func (f *Fabric) local(from int, to int32) bool {
 	if int32(from) == to {
 		f.st[from].LocalOps++
-		return false // no network latency for self-access
+		return true
 	}
-	p.Sleep(f.Mach.OneSided(from, int(to), size, atomic))
-	return true
+	return false
 }
 
-// Get copies the remote variable at loc into dst (len(dst) bytes, at most
-// loc.Size), as issued by rank from. This is the paper's "get v <- L".
-func (f *Fabric) Get(p *sim.Proc, from int, loc Loc, dst []byte) {
+// GetAsync issues a get of len(dst) bytes from loc as one link of chain c:
+// at the op's completion time the data lands in dst, then `then` runs,
+// still within that event. A local get completes inline (no event). This is
+// the split-phase form of the paper's "get v <- L".
+//
+// dst must stay untouched by the issuer until the callback runs — the
+// issuer is normally parked in c.Wait for the duration.
+func (f *Fabric) GetAsync(c *sim.Chain, from int, loc Loc, dst []byte, then func()) {
 	if int32(len(dst)) > loc.Size {
 		panic(fmt.Sprintf("rdma: get of %d bytes from %v", len(dst), loc))
 	}
-	if f.latency(p, from, loc.Rank, len(dst), false) {
-		f.st[from].Gets++
-		f.st[from].BytesIn += uint64(len(dst))
+	if f.local(from, loc.Rank) {
+		copy(dst, f.segs[loc.Rank].bytes(loc.Addr, len(dst)))
+		then()
+		return
 	}
-	copy(dst, f.segs[loc.Rank].bytes(loc.Addr, len(dst)))
+	f.st[from].Gets++
+	f.st[from].BytesIn += uint64(len(dst))
+	c.Then(f.Mach.OneSided(from, int(loc.Rank), len(dst), false), func() {
+		copy(dst, f.segs[loc.Rank].bytes(loc.Addr, len(dst)))
+		then()
+	})
 }
 
-// Put copies src into the remote variable at loc, as issued by rank from.
-// This is the paper's "put L <- v". The memory becomes visible at the
-// operation's completion time.
-func (f *Fabric) Put(p *sim.Proc, from int, loc Loc, src []byte) {
+// PutAsync issues a put of src to loc as one link of chain c: the remote
+// memory becomes visible at the op's completion time, then `then` runs. src
+// must stay stable until the callback runs (the issuer is normally parked
+// in c.Wait). For the fire-and-forget put that only charges an injection
+// cost, see PutNB.
+func (f *Fabric) PutAsync(c *sim.Chain, from int, loc Loc, src []byte, then func()) {
 	if int32(len(src)) > loc.Size {
 		panic(fmt.Sprintf("rdma: put of %d bytes to %v", len(src), loc))
 	}
-	if f.latency(p, from, loc.Rank, len(src), false) {
-		f.st[from].Puts++
-		f.st[from].BytesOut += uint64(len(src))
+	if f.local(from, loc.Rank) {
+		copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
+		then()
+		return
 	}
-	copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
+	f.st[from].Puts++
+	f.st[from].BytesOut += uint64(len(src))
+	c.Then(f.Mach.OneSided(from, int(loc.Rank), len(src), false), func() {
+		copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
+		then()
+	})
+}
+
+// GetInt64Async reads the 8-byte little-endian word at loc as one link of
+// chain c, delivering the value to `then` at the op's completion time.
+func (f *Fabric) GetInt64Async(c *sim.Chain, from int, loc Loc, then func(v int64)) {
+	if f.local(from, loc.Rank) {
+		then(int64(binary.LittleEndian.Uint64(f.segs[loc.Rank].bytes(loc.Addr, 8))))
+		return
+	}
+	f.st[from].Gets++
+	f.st[from].BytesIn += 8
+	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, false), func() {
+		then(int64(binary.LittleEndian.Uint64(f.segs[loc.Rank].bytes(loc.Addr, 8))))
+	})
+}
+
+// PutInt64Async writes an 8-byte little-endian word to loc as one link of
+// chain c; the word becomes visible at completion time, then `then` runs.
+func (f *Fabric) PutInt64Async(c *sim.Chain, from int, loc Loc, v int64, then func()) {
+	if f.local(from, loc.Rank) {
+		binary.LittleEndian.PutUint64(f.segs[loc.Rank].bytes(loc.Addr, 8), uint64(v))
+		then()
+		return
+	}
+	f.st[from].Puts++
+	f.st[from].BytesOut += 8
+	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, false), func() {
+		binary.LittleEndian.PutUint64(f.segs[loc.Rank].bytes(loc.Addr, 8), uint64(v))
+		then()
+	})
+}
+
+// FetchAddAsync atomically adds delta to the word at loc as one link of
+// chain c; the read-modify-write applies at completion time and the prior
+// value is delivered to `then`. Because the simulation is sequential, no
+// other operation can interleave with the atomic.
+func (f *Fabric) FetchAddAsync(c *sim.Chain, from int, loc Loc, delta int64, then func(old int64)) {
+	apply := func() int64 {
+		b := f.segs[loc.Rank].bytes(loc.Addr, 8)
+		old := int64(binary.LittleEndian.Uint64(b))
+		binary.LittleEndian.PutUint64(b, uint64(old+delta))
+		return old
+	}
+	if f.local(from, loc.Rank) {
+		then(apply())
+		return
+	}
+	f.st[from].Atomics++
+	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, true), func() { then(apply()) })
+}
+
+// CASAsync atomically compares the word at loc with old and, if equal,
+// replaces it with new, as one link of chain c. The observed value (== old
+// on success) is delivered to `then` at the op's completion time.
+func (f *Fabric) CASAsync(c *sim.Chain, from int, loc Loc, old, new int64, then func(observed int64)) {
+	apply := func() int64 {
+		b := f.segs[loc.Rank].bytes(loc.Addr, 8)
+		cur := int64(binary.LittleEndian.Uint64(b))
+		if cur == old {
+			binary.LittleEndian.PutUint64(b, uint64(new))
+		}
+		return cur
+	}
+	if f.local(from, loc.Rank) {
+		then(apply())
+		return
+	}
+	f.st[from].Atomics++
+	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, true), func() { then(apply()) })
+}
+
+// Get copies the remote variable at loc into dst (len(dst) bytes, at most
+// loc.Size), as issued by rank from — the paper's "get v <- L". Blocking
+// park-until-complete wrapper over GetAsync.
+func (f *Fabric) Get(p *sim.Proc, from int, loc Loc, dst []byte) {
+	c := f.Eng.NewChain(p)
+	f.GetAsync(c, from, loc, dst, c.Complete)
+	c.Wait()
+}
+
+// Put copies src into the remote variable at loc, as issued by rank from —
+// the paper's "put L <- v". The memory becomes visible at the operation's
+// completion time. Blocking wrapper over PutAsync.
+func (f *Fabric) Put(p *sim.Proc, from int, loc Loc, src []byte) {
+	c := f.Eng.NewChain(p)
+	f.PutAsync(c, from, loc, src, c.Complete)
+	c.Wait()
 }
 
 // InjectCost is the local overhead of posting a nonblocking operation to
 // the NIC without waiting for its completion.
 const InjectCost = 200 * sim.Nanosecond
 
-// PutAsync issues a nonblocking put: the issuer is charged only a small
-// injection cost, and the remote memory is updated after the one-sided
-// latency has elapsed, without the issuer waiting for it. This models the
-// paper's nonblocking remote free-bit write (§III-B).
-func (f *Fabric) PutAsync(p *sim.Proc, from int, loc Loc, src []byte) {
+// PutNB issues a nonblocking (fire-and-forget) put: the issuer is charged
+// only a small injection cost, and the remote memory is updated after the
+// one-sided latency has elapsed, without the issuer ever observing the
+// completion. This models the paper's nonblocking remote free-bit write
+// (§III-B). src is snapshotted at issue time.
+func (f *Fabric) PutNB(p *sim.Proc, from int, loc Loc, src []byte) {
 	if int32(len(src)) > loc.Size {
 		panic(fmt.Sprintf("rdma: put of %d bytes to %v", len(src), loc))
 	}
-	if int32(from) == loc.Rank {
-		f.st[from].LocalOps++
+	if f.local(from, loc.Rank) {
 		copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
 		return
 	}
@@ -202,46 +316,42 @@ func (f *Fabric) PutAsync(p *sim.Proc, from int, loc Loc, src []byte) {
 	p.Sleep(InjectCost)
 }
 
-// GetInt64 reads an 8-byte little-endian word at loc.
+// GetInt64 reads an 8-byte little-endian word at loc. Blocking wrapper.
 func (f *Fabric) GetInt64(p *sim.Proc, from int, loc Loc) int64 {
-	var buf [8]byte
-	f.Get(p, from, Loc{Rank: loc.Rank, Addr: loc.Addr, Size: 8}, buf[:])
-	return int64(binary.LittleEndian.Uint64(buf[:]))
+	var out int64
+	c := f.Eng.NewChain(p)
+	f.GetInt64Async(c, from, loc, func(v int64) { out = v; c.Complete() })
+	c.Wait()
+	return out
 }
 
-// PutInt64 writes an 8-byte little-endian word at loc.
+// PutInt64 writes an 8-byte little-endian word at loc. Blocking wrapper.
 func (f *Fabric) PutInt64(p *sim.Proc, from int, loc Loc, v int64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	f.Put(p, from, Loc{Rank: loc.Rank, Addr: loc.Addr, Size: 8}, buf[:])
+	c := f.Eng.NewChain(p)
+	f.PutInt64Async(c, from, loc, v, c.Complete)
+	c.Wait()
 }
 
 // FetchAdd atomically adds delta to the 8-byte word at loc and returns the
-// value it held before the addition ("fetch_and_add(L, v)"). The
-// read-modify-write is applied atomically at completion time; because the
-// simulation is sequential, no other operation can interleave with it.
+// value it held before the addition ("fetch_and_add(L, v)"). Blocking
+// wrapper over FetchAddAsync.
 func (f *Fabric) FetchAdd(p *sim.Proc, from int, loc Loc, delta int64) int64 {
-	if f.latency(p, from, loc.Rank, 8, true) {
-		f.st[from].Atomics++
-	}
-	b := f.segs[loc.Rank].bytes(loc.Addr, 8)
-	old := int64(binary.LittleEndian.Uint64(b))
-	binary.LittleEndian.PutUint64(b, uint64(old+delta))
-	return old
+	var out int64
+	c := f.Eng.NewChain(p)
+	f.FetchAddAsync(c, from, loc, delta, func(v int64) { out = v; c.Complete() })
+	c.Wait()
+	return out
 }
 
 // CAS atomically compares the 8-byte word at loc with old and, if equal,
 // replaces it with new. It returns the observed value (== old on success).
+// Blocking wrapper over CASAsync.
 func (f *Fabric) CAS(p *sim.Proc, from int, loc Loc, old, new int64) int64 {
-	if f.latency(p, from, loc.Rank, 8, true) {
-		f.st[from].Atomics++
-	}
-	b := f.segs[loc.Rank].bytes(loc.Addr, 8)
-	cur := int64(binary.LittleEndian.Uint64(b))
-	if cur == old {
-		binary.LittleEndian.PutUint64(b, uint64(new))
-	}
-	return cur
+	var out int64
+	c := f.Eng.NewChain(p)
+	f.CASAsync(c, from, loc, old, new, func(v int64) { out = v; c.Complete() })
+	c.Wait()
+	return out
 }
 
 // Segment is one rank's registered memory: a flat, growable byte array with

@@ -258,22 +258,36 @@ func (s *Space) Free(p *sim.Proc, from int, loc rdma.Loc) {
 		// during a later sweep.
 		var one [8]byte
 		one[0] = 1
-		s.Mgrs[from].fab.PutAsync(p, from,
+		me.fab.PutNB(p, from,
 			rdma.Loc{Rank: loc.Rank, Addr: loc.Addr - headerLen, Size: 8}, one[:])
 	case LockQueue:
-		// Four round trips against the owner's incoming queue.
+		// Four round trips against the owner's incoming queue, run as one
+		// completion chain: the freeing worker parks once for the whole
+		// protocol instead of once per round trip. The CAS-retry link
+		// reissues itself until the lock is won; every attempt is a round
+		// trip, exactly as in the blocking formulation.
 		fab := me.fab
-		for fab.CAS(p, from, owner.lqLoc(0, 8), 0, 1) != 0 {
-			// Retry until the lock is ours; each attempt is a round trip.
-		}
-		idx := fab.FetchAdd(p, from, owner.lqLoc(8, 8), 1)
-		if idx >= lockQueueCap {
-			panic("remobj: lock-queue overflow; owner is not draining")
-		}
+		lock := owner.lqLoc(0, 8)
+		c := fab.Eng.NewChain(p)
 		var buf [rdma.LocSize]byte
 		rdma.EncodeLoc(buf[:], loc)
-		fab.Put(p, from, owner.lqLoc(16+int(idx)*rdma.LocSize, rdma.LocSize), buf[:])
-		fab.PutInt64(p, from, owner.lqLoc(0, 8), 0)
+		var onLock func(observed int64)
+		onLock = func(observed int64) {
+			if observed != 0 {
+				fab.CASAsync(c, from, lock, 0, 1, onLock)
+				return
+			}
+			fab.FetchAddAsync(c, from, owner.lqLoc(8, 8), 1, func(idx int64) {
+				if idx >= lockQueueCap {
+					panic("remobj: lock-queue overflow; owner is not draining")
+				}
+				fab.PutAsync(c, from, owner.lqLoc(16+int(idx)*rdma.LocSize, rdma.LocSize), buf[:], func() {
+					fab.PutInt64Async(c, from, lock, 0, c.Complete)
+				})
+			})
+		}
+		fab.CASAsync(c, from, lock, 0, 1, onLock)
+		c.Wait()
 	}
 }
 

@@ -28,28 +28,58 @@
 // scheduling order (FIFO). No real time, map iteration order, or goroutine
 // scheduling decision can influence the simulation.
 //
+// # Completion chains
+//
+// A Chain is the split-phase counterpart of a sequence of Sleeps: a state
+// machine of timed callbacks that runs entirely on the engine goroutine,
+// waking the issuing proc exactly once at the end. A multi-step protocol
+// (e.g. the five one-sided operations of a deque steal) issues its first
+// link, each link's callback performs its memory access and schedules the
+// next, the final link calls Complete, and the proc — parked in Wait —
+// resumes within the same event dispatch, at the same (time, seq) instant at
+// which a blocking implementation would have returned from its last Sleep.
+// Each link consumes exactly one event and one sequence number, assigned at
+// the same scheduling instants as the Sleeps it replaces, so converting a
+// blocking protocol to a chain changes no virtual-time result: event order,
+// timestamps, and all derived statistics stay byte-identical. What changes
+// is host cost — one goroutine handoff per protocol instead of one per
+// sub-operation. Chain objects are pooled on the engine (Wait releases
+// them), so steady-state chains allocate nothing.
+//
 // # Host performance
 //
-// Every proc handoff is a goroutine-to-goroutine channel rendezvous. With a
-// single OS thread available (GOMAXPROCS=1) the Go scheduler keeps these
-// handoffs on-thread, which is ~4x cheaper than cross-thread wakeups — the
-// right setting when one simulation owns the whole process. When many
-// engines run concurrently (parallel experiment sweeps, one engine per
-// host goroutine), leave GOMAXPROCS alone: all host threads stay busy, the
-// handoffs amortize, and determinism is unaffected either way because each
-// engine's event order never depends on goroutine scheduling.
+// The engine is two-tier: delay-only waits run as callbacks on the engine
+// goroutine (a heap pop plus a function call, ~10 ns), while a full proc
+// handoff — two rendezvous on the proc's single unbuffered channel — costs
+// hundreds of nanoseconds. Hot paths therefore avoid handoffs: multi-op
+// protocols use completion chains (one handoff per protocol), live procs
+// are kept on an intrusive list (no map operations on spawn/death), proc
+// names are formatted lazily (no fmt on the spawn path; see GoID), and
+// events are plain values in a slice-backed heap (no per-event allocation).
+// With a single OS thread available (GOMAXPROCS=1) the Go scheduler keeps
+// the remaining handoffs on-thread, which is ~4x cheaper than cross-thread
+// wakeups — the right setting when one simulation owns the whole process.
+// When many engines run concurrently (parallel experiment sweeps, one
+// engine per host goroutine), leave GOMAXPROCS alone: all host threads stay
+// busy and determinism is unaffected either way because each engine's event
+// order never depends on goroutine scheduling. EngineStats reports how many
+// events, handoffs and callbacks a run executed, so throughput (events/sec)
+// and the handoff-avoidance ratio are directly measurable.
 //
 // # Failure propagation
 //
 // A panic inside a proc body is captured and re-raised as a *ProcPanic
 // from the Engine.Run call driving the simulation — i.e. on the caller's
-// goroutine, where it can be recovered per run. The engine shuts down its
-// remaining procs first, so no goroutines leak past the failure.
+// goroutine, where it can be recovered per run. A panic inside a callback
+// (including a chain link) is wrapped the same way, attributed to the
+// pseudo-proc "callback". The engine shuts down its remaining procs first,
+// so no goroutines leak past the failure.
 package sim
 
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 )
 
 // Time is a virtual timestamp or duration in nanoseconds. The simulation
@@ -119,8 +149,9 @@ func (s ProcState) String() string {
 type wakeSignal uint8
 
 const (
-	wakeRun wakeSignal = iota
-	wakeKill
+	wakeRun  wakeSignal = iota // engine -> proc: run until the next suspension
+	wakeKill                   // engine -> proc: unwind and exit (Shutdown)
+	wakeDone                   // proc -> engine: suspended or finished
 )
 
 // killed is the panic payload used to unwind a proc's goroutine during
@@ -129,13 +160,13 @@ type killed struct{}
 
 // ProcPanic is the payload Engine.Run re-panics with when a proc body
 // panicked: the proc's identity, the virtual time of the failure, the
-// original panic value, and the proc goroutine's stack at the point of the
-// panic.
+// original panic value, and the goroutine's stack at the point of the
+// panic. Panics inside engine callbacks carry the proc name "callback".
 type ProcPanic struct {
 	Proc  string // name of the panicking proc
 	T     Time   // virtual time of the panic
 	Value any    // original panic value
-	Stack []byte // proc goroutine stack trace
+	Stack []byte // goroutine stack trace at the panic
 }
 
 func (pp *ProcPanic) Error() string {
@@ -146,8 +177,18 @@ func (pp *ProcPanic) String() string {
 	return pp.Error() + "\n" + string(pp.Stack)
 }
 
+// EngineStats counts the host-side work a run performed. All counters are
+// deterministic: they depend only on the simulated program, never on host
+// scheduling, so they are safe to report alongside virtual-time results.
+type EngineStats struct {
+	Events    uint64 // events dispatched by Run
+	Handoffs  uint64 // goroutine handoffs to procs (the expensive path)
+	Callbacks uint64 // engine-loop callbacks executed (incl. chain links)
+}
+
 // event is a single entry in the engine's priority queue: either a proc
-// wake-up (p != nil) or a callback (fn != nil).
+// wake-up (p != nil) or a callback (fn != nil). Events are plain values in
+// the slice-backed heap, so scheduling allocates nothing.
 type event struct {
 	t   Time
 	seq uint64
@@ -163,21 +204,21 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
-	yield   chan struct{} // proc -> engine: "I have suspended or finished"
 	current *Proc
-	procs   map[*Proc]struct{} // live (non-dead) procs
+	ready   *Proc // proc to hand control to when the current callback returns
+	live    *Proc // head of the intrusive doubly-linked list of live procs
+	nlive   int
 	parked  int
 	stopped bool
 	fail    *ProcPanic   // set by a panicking proc, re-raised by Run
 	trace   func(string) // optional debug trace hook
+	stats   EngineStats
+	chains  *Chain // free list of pooled Chain objects
 }
 
 // NewEngine returns an empty engine with the clock at 0.
 func NewEngine() *Engine {
-	return &Engine{
-		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
-	}
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
@@ -185,13 +226,17 @@ func (e *Engine) Now() Time { return e.now }
 
 // Live returns the number of procs that have been created and have not yet
 // finished.
-func (e *Engine) Live() int { return len(e.procs) }
+func (e *Engine) Live() int { return e.nlive }
 
-// Parked returns the number of procs currently parked (waiting for Wake).
+// Parked returns the number of procs currently parked (waiting for Wake or
+// a chain completion).
 func (e *Engine) Parked() int { return e.parked }
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Stats returns the engine's host-side work counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
 
 // Stop makes Run return after the current event completes. It may be called
 // from inside a proc or callback.
@@ -228,23 +273,37 @@ func (e *Engine) After(d Time, fn func()) {
 // virtual time (after already-queued events at this time). The name is used
 // in diagnostics only.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
-	return e.GoAfter(0, name, body)
+	return e.spawn(0, name, "", 0, body)
 }
 
 // GoAfter is Go with a start delay of d virtual nanoseconds.
 func (e *Engine) GoAfter(d Time, name string, body func(p *Proc)) *Proc {
+	return e.spawn(d, name, "", 0, body)
+}
+
+// GoID is Go with a lazily formatted name prefix+id (e.g. "worker", 3 →
+// "worker3"): the string is built only if Name is actually called (trace or
+// failure diagnostics), keeping fmt off the spawn path of runs that create
+// one proc per simulated thread.
+func (e *Engine) GoID(prefix string, id int64, body func(p *Proc)) *Proc {
+	return e.spawn(0, "", prefix, id, body)
+}
+
+func (e *Engine) spawn(d Time, name, prefix string, id int64, body func(p *Proc)) *Proc {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
 	p := &Proc{
-		eng:   e,
-		name:  name,
-		wake:  make(chan wakeSignal, 1),
-		state: StateNew,
+		eng:    e,
+		name:   name,
+		prefix: prefix,
+		id:     id,
+		ch:     make(chan wakeSignal),
+		state:  StateNew,
 	}
-	e.procs[p] = struct{}{}
+	e.link(p)
 	go func() {
-		sig := <-p.wake
+		sig := <-p.ch
 		if sig != wakeKill {
 			func() {
 				defer func() {
@@ -258,7 +317,7 @@ func (e *Engine) GoAfter(d Time, name string, body func(p *Proc)) *Proc {
 						// on the goroutine driving the simulation, where it
 						// can be recovered per run.
 						buf := make([]byte, 64<<10)
-						pp := &ProcPanic{Proc: p.name, T: e.now, Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+						pp := &ProcPanic{Proc: p.Name(), T: e.now, Value: r, Stack: buf[:runtime.Stack(buf, false)]}
 						if e.fail == nil {
 							e.fail = pp
 						}
@@ -268,19 +327,63 @@ func (e *Engine) GoAfter(d Time, name string, body func(p *Proc)) *Proc {
 			}()
 		}
 		p.state = StateDead
-		delete(e.procs, p)
-		e.yield <- struct{}{}
+		e.unlink(p)
+		p.ch <- wakeDone
 	}()
 	p.state = StateScheduled
 	e.schedule(e.now+d, p, nil)
 	return p
 }
 
+// link prepends p to the live list.
+func (e *Engine) link(p *Proc) {
+	p.nextLive = e.live
+	if e.live != nil {
+		e.live.prevLive = p
+	}
+	e.live = p
+	e.nlive++
+}
+
+// unlink removes p from the live list.
+func (e *Engine) unlink(p *Proc) {
+	if p.prevLive != nil {
+		p.prevLive.nextLive = p.nextLive
+	} else {
+		e.live = p.nextLive
+	}
+	if p.nextLive != nil {
+		p.nextLive.prevLive = p.prevLive
+	}
+	p.prevLive, p.nextLive = nil, nil
+	e.nlive--
+}
+
 // Run executes events until the queue is empty, Stop is called, or the next
 // event lies beyond the until horizon (pass Forever for no horizon). It
 // returns the virtual time at which it stopped. When a horizon is given and
 // events remain beyond it, the clock is advanced exactly to the horizon.
+//
+// A panic escaping an event — a proc body or an engine callback — is
+// re-raised from Run as a *ProcPanic after the remaining procs are torn
+// down, so no goroutines leak past a failed simulation.
 func (e *Engine) Run(until Time) Time {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*ProcPanic); ok {
+				panic(r) // proc failure, already wrapped and shut down
+			}
+			// A callback (chain link, timer, sampler) panicked on the engine
+			// goroutine. The stack is still intact here, so capture it, tear
+			// the procs down, and re-raise in the uniform shape.
+			buf := make([]byte, 64<<10)
+			pp := &ProcPanic{Proc: "callback", T: e.now, Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+			e.current = nil
+			e.ready = nil
+			e.Shutdown()
+			panic(pp)
+		}
+	}()
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events.peek()
 		if until >= 0 && ev.t > until {
@@ -289,38 +392,56 @@ func (e *Engine) Run(until Time) Time {
 		}
 		e.events.pop()
 		e.now = ev.t
-		switch {
-		case ev.fn != nil:
+		if ev.fn != nil {
 			if e.trace != nil {
 				e.trace(fmt.Sprintf("t=%v callback", e.now))
 			}
+			e.stats.Events++
+			e.stats.Callbacks++
 			ev.fn()
-		case ev.p != nil:
-			p := ev.p
+			if e.ready != nil {
+				// A chain completed inside the callback: hand the issuing
+				// proc control within this same event, so it resumes at
+				// exactly the (time, seq) instant of the final link.
+				p := e.ready
+				e.ready = nil
+				if e.trace != nil {
+					e.trace(fmt.Sprintf("t=%v resume %q", e.now, p.Name()))
+				}
+				e.runProc(p)
+			}
+		} else if p := ev.p; p != nil {
 			if p.state == StateDead {
 				// A killed proc can leave a stale event behind.
 				continue
 			}
 			if e.trace != nil {
-				e.trace(fmt.Sprintf("t=%v run %q", e.now, p.name))
+				e.trace(fmt.Sprintf("t=%v run %q", e.now, p.Name()))
 			}
-			p.state = StateRunning
-			e.current = p
-			p.wake <- wakeRun
-			<-e.yield
-			e.current = nil
-			if e.fail != nil {
-				// A proc body panicked. Tear the remaining procs down so no
-				// goroutine leaks, then re-raise on this (the caller's)
-				// goroutine.
-				pp := e.fail
-				e.fail = nil
-				e.Shutdown()
-				panic(pp)
-			}
+			e.stats.Events++
+			e.runProc(p)
 		}
 	}
 	return e.now
+}
+
+// runProc hands control to p and blocks until it suspends or finishes, then
+// propagates any failure its body recorded.
+func (e *Engine) runProc(p *Proc) {
+	p.state = StateRunning
+	e.current = p
+	e.stats.Handoffs++
+	p.ch <- wakeRun
+	<-p.ch
+	e.current = nil
+	if e.fail != nil {
+		// A proc body panicked. Tear the remaining procs down so no
+		// goroutine leaks, then re-raise on this (the caller's) goroutine.
+		pp := e.fail
+		e.fail = nil
+		e.Shutdown()
+		panic(pp)
+	}
 }
 
 // Deadlocked reports whether the simulation has reached a state with no
@@ -331,40 +452,54 @@ func (e *Engine) Deadlocked() bool {
 
 // Shutdown force-kills all live procs so their goroutines exit. It must be
 // called from outside Run (i.e. not from a proc or callback). After
-// Shutdown the engine must not be reused.
+// Shutdown the engine must not be reused. Procs are killed in reverse
+// creation order (deterministically — the live list is intrusive, not a
+// map), unwinding any pending completion chains with them.
 func (e *Engine) Shutdown() {
 	e.stopped = true
-	for len(e.procs) > 0 {
-		var p *Proc
-		// Pick any live proc; order does not matter for teardown.
-		for q := range e.procs {
-			p = q
-			break
-		}
+	for e.live != nil {
+		p := e.live
 		switch p.state {
 		case StateParked, StateScheduled, StateNew:
 			p.state = StateDead
-			p.wake <- wakeKill
-			<-e.yield
+			p.ch <- wakeKill
+			<-p.ch
 		default:
-			panic(fmt.Sprintf("sim: Shutdown with proc %q in state %v", p.name, p.state))
+			panic(fmt.Sprintf("sim: Shutdown with proc %q in state %v", p.Name(), p.state))
 		}
 	}
 	e.events = nil
+	e.chains = nil
+	e.ready = nil
 }
 
 // Proc is a simulated process: a goroutine whose execution is interleaved
 // with virtual time by the engine. All methods must be called from the
 // proc's own body.
 type Proc struct {
-	eng   *Engine
-	name  string
-	wake  chan wakeSignal
-	state ProcState
+	eng  *Engine
+	name string // explicit name, or "" when prefix+id is formatted lazily
+	id   int64
+
+	// ch is the proc's single handoff channel, used in strict alternation:
+	// engine sends wakeRun/wakeKill, proc answers wakeDone when it suspends
+	// or finishes. Unbuffered, so every transfer is a direct rendezvous the
+	// Go scheduler can service without a queue round trip.
+	ch chan wakeSignal
+
+	prefix             string
+	state              ProcState
+	prevLive, nextLive *Proc
 }
 
-// Name returns the diagnostic name given at creation.
-func (p *Proc) Name() string { return p.name }
+// Name returns the diagnostic name given at creation, formatting a lazy
+// prefix+id name on demand.
+func (p *Proc) Name() string {
+	if p.name != "" {
+		return p.name
+	}
+	return p.prefix + strconv.FormatInt(p.id, 10)
+}
 
 // Engine returns the engine this proc belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -377,8 +512,8 @@ func (p *Proc) State() ProcState { return p.state }
 
 // yield returns control to the engine and blocks until the next wake.
 func (p *Proc) yield() {
-	p.eng.yield <- struct{}{}
-	if sig := <-p.wake; sig == wakeKill {
+	p.ch <- wakeDone
+	if sig := <-p.ch; sig == wakeKill {
 		panic(killed{})
 	}
 }
@@ -389,7 +524,7 @@ func (p *Proc) Sleep(d Time) {
 		panic("sim: negative sleep")
 	}
 	if p.eng.current != p {
-		panic(fmt.Sprintf("sim: Sleep called on proc %q that is not current", p.name))
+		panic(fmt.Sprintf("sim: Sleep called on proc %q that is not current", p.Name()))
 	}
 	p.state = StateScheduled
 	p.eng.schedule(p.eng.now+d, p, nil)
@@ -401,7 +536,7 @@ func (p *Proc) Sleep(d Time) {
 // WakeAfter) on it.
 func (p *Proc) Park() {
 	if p.eng.current != p {
-		panic(fmt.Sprintf("sim: Park called on proc %q that is not current", p.name))
+		panic(fmt.Sprintf("sim: Park called on proc %q that is not current", p.Name()))
 	}
 	p.state = StateParked
 	p.eng.parked++
@@ -419,9 +554,83 @@ func (e *Engine) WakeAfter(p *Proc, d Time) {
 		panic("sim: negative delay")
 	}
 	if p.state != StateParked {
-		panic(fmt.Sprintf("sim: Wake of proc %q in state %v", p.name, p.state))
+		panic(fmt.Sprintf("sim: Wake of proc %q in state %v", p.Name(), p.state))
 	}
 	e.parked--
 	p.state = StateScheduled
 	e.schedule(e.now+d, p, nil)
+}
+
+// Chain is a split-phase completion chain: a state machine of timed
+// callbacks standing in for a sequence of blocking Sleeps (see the package
+// comment). The issuing proc creates the chain, issues the first link, and
+// calls Wait; each link's callback performs its memory access and either
+// schedules the next link (Then) or finishes the protocol (Complete), which
+// resumes the waiting proc within the same event. A chain whose every step
+// turns out to be immediate (e.g. all-local fabric operations) may Complete
+// synchronously before Wait is called; Wait then returns without parking.
+type Chain struct {
+	eng     *Engine
+	p       *Proc
+	done    bool
+	waiting bool   // proc is parked in Wait
+	next    *Chain // engine free list
+}
+
+// NewChain returns a (pooled) chain that will wake p on completion. It must
+// be called by p itself, before the proc suspends.
+func (e *Engine) NewChain(p *Proc) *Chain {
+	c := e.chains
+	if c != nil {
+		e.chains = c.next
+		c.p = p
+		c.done = false
+		c.waiting = false
+		c.next = nil
+		return c
+	}
+	return &Chain{eng: e, p: p}
+}
+
+// Then schedules the next link of the chain: fn runs on the engine
+// goroutine d nanoseconds from now — the split-phase equivalent of
+// Sleep(d) followed by fn inline. One link consumes exactly one event and
+// one sequence number, like the Sleep it replaces.
+func (c *Chain) Then(d Time, fn func()) { c.eng.After(d, fn) }
+
+// Complete finishes the chain. Called from inside a link's callback it
+// arranges for the waiting proc to resume within the current event (same
+// virtual time, same sequence number); called synchronously — before the
+// issuing proc ever suspended — it just marks the chain done so Wait
+// returns immediately.
+func (c *Chain) Complete() {
+	c.done = true
+	if c.waiting {
+		if c.eng.ready != nil {
+			panic("sim: two chains completed within one event")
+		}
+		c.waiting = false
+		c.eng.parked--
+		c.eng.ready = c.p
+	}
+}
+
+// Wait suspends the issuing proc until Complete, then releases the chain
+// back to the engine pool (the chain must not be used after Wait).
+func (c *Chain) Wait() {
+	p := c.p
+	e := c.eng
+	if e.current != p {
+		panic(fmt.Sprintf("sim: Chain.Wait called on proc %q that is not current", p.Name()))
+	}
+	if !c.done {
+		c.waiting = true
+		p.state = StateParked
+		e.parked++
+		p.yield()
+		p.state = StateRunning
+	}
+	c.p = nil
+	c.next = e.chains
+	e.chains = c
 }

@@ -442,6 +442,221 @@ func TestProcPanicPropagatesToRunCaller(t *testing.T) {
 	t.Fatal("Run returned normally despite proc panic")
 }
 
+func TestChainTimingMatchesSleeps(t *testing.T) {
+	// A chain of links must perform each access at the same virtual instant
+	// as the equivalent Sleep sequence, and resume the proc exactly at the
+	// final link's time.
+	e := NewEngine()
+	var accesses []Time
+	var resumed Time
+	e.Go("issuer", func(p *Proc) {
+		c := e.NewChain(p)
+		c.Then(10, func() {
+			accesses = append(accesses, p.Now())
+			c.Then(20, func() {
+				accesses = append(accesses, p.Now())
+				c.Complete()
+			})
+		})
+		c.Wait()
+		resumed = p.Now()
+	})
+	e.Run(Forever)
+	if len(accesses) != 2 || accesses[0] != 10 || accesses[1] != 30 {
+		t.Errorf("link accesses at %v, want [10 30]", accesses)
+	}
+	if resumed != 30 {
+		t.Errorf("proc resumed at %v, want 30 (the final link's instant)", resumed)
+	}
+	st := e.Stats()
+	if st.Callbacks != 2 {
+		t.Errorf("Callbacks = %d, want 2 (one per link)", st.Callbacks)
+	}
+	if st.Handoffs != 2 {
+		t.Errorf("Handoffs = %d, want 2 (proc start + single resume)", st.Handoffs)
+	}
+}
+
+func TestChainSynchronousCompleteDoesNotPark(t *testing.T) {
+	// A protocol whose steps all turn out to be immediate completes the
+	// chain before Wait; the proc must not suspend and no event is consumed.
+	e := NewEngine()
+	var at Time = -1
+	e.Go("local", func(p *Proc) {
+		c := e.NewChain(p)
+		c.Complete()
+		c.Wait()
+		at = p.Now()
+	})
+	e.Run(Forever)
+	if at != 0 {
+		t.Errorf("proc continued at %v, want 0 (no suspension)", at)
+	}
+}
+
+func TestChainPooling(t *testing.T) {
+	// Wait must release the chain for reuse: two sequential protocols on one
+	// proc share a single Chain allocation.
+	e := NewEngine()
+	var c1, c2 *Chain
+	e.Go("issuer", func(p *Proc) {
+		c1 = e.NewChain(p)
+		c1.Then(5, c1.Complete)
+		c1.Wait()
+		c2 = e.NewChain(p)
+		c2.Then(5, c2.Complete)
+		c2.Wait()
+	})
+	e.Run(Forever)
+	if c1 != c2 {
+		t.Error("second NewChain did not reuse the pooled chain released by Wait")
+	}
+}
+
+func TestShutdownWithPendingChain(t *testing.T) {
+	// Shutdown while a proc is parked mid-chain must unwind it cleanly: the
+	// goroutine exits, the live count drops to zero, nothing panics.
+	e := NewEngine()
+	e.Go("issuer", func(p *Proc) {
+		c := e.NewChain(p)
+		c.Then(Second, c.Complete) // far in the future
+		c.Wait()
+		t.Error("proc resumed past Shutdown")
+	})
+	e.Run(100) // proc is now parked in Wait; the link is beyond the horizon
+	if e.Parked() != 1 {
+		t.Fatalf("Parked = %d, want 1 (issuer waiting on its chain)", e.Parked())
+	}
+	e.Shutdown()
+	if e.Live() != 0 {
+		t.Errorf("Live = %d after Shutdown, want 0", e.Live())
+	}
+}
+
+func TestProcPanicFromCompletionCallback(t *testing.T) {
+	// A panic inside a chain link runs on the engine goroutine; Run must
+	// re-raise it as a *ProcPanic attributed to "callback" and tear down the
+	// waiting proc.
+	e := NewEngine()
+	e.Go("issuer", func(p *Proc) {
+		c := e.NewChain(p)
+		c.Then(10, func() { panic("link boom") })
+		c.Wait()
+	})
+	defer func() {
+		r := recover()
+		pp, ok := r.(*ProcPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *ProcPanic", r, r)
+		}
+		if pp.Proc != "callback" || pp.T != 10 || pp.Value != "link boom" {
+			t.Errorf("ProcPanic = %q t=%v value=%v, want callback/10/link boom",
+				pp.Proc, pp.T, pp.Value)
+		}
+		if e.Live() != 0 {
+			t.Errorf("%d procs alive after failed run", e.Live())
+		}
+	}()
+	e.Run(Forever)
+	t.Fatal("Run returned normally despite callback panic")
+}
+
+func TestRunHorizonMidChain(t *testing.T) {
+	// A horizon that falls between two links must stop the engine with the
+	// proc still parked; resuming the run completes the chain normally.
+	e := NewEngine()
+	var resumed Time = -1
+	e.Go("issuer", func(p *Proc) {
+		c := e.NewChain(p)
+		c.Then(10, func() {
+			c.Then(90, c.Complete)
+		})
+		c.Wait()
+		resumed = p.Now()
+	})
+	if end := e.Run(50); end != 50 {
+		t.Errorf("Run(50) = %v, want 50", end)
+	}
+	if resumed != -1 {
+		t.Error("proc resumed before its final link fired")
+	}
+	if e.Parked() != 1 {
+		t.Errorf("Parked = %d at horizon, want 1", e.Parked())
+	}
+	e.Run(Forever)
+	if resumed != 100 {
+		t.Errorf("proc resumed at %v, want 100", resumed)
+	}
+	if e.Live() != 0 {
+		t.Errorf("Live = %d, want 0", e.Live())
+	}
+}
+
+func TestEngineStatsDeterministic(t *testing.T) {
+	// Host-side counters must be a pure function of the simulated program.
+	run := func() EngineStats {
+		e := NewEngine()
+		for i := 0; i < 8; i++ {
+			e.Go("w", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(Time(j))
+				}
+				c := e.NewChain(p)
+				c.Then(5, c.Complete)
+				c.Wait()
+			})
+		}
+		e.Run(Forever)
+		return e.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("stats diverge across identical runs: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkEngineHandoff(b *testing.B) {
+	// One full proc handoff per iteration — wake event, channel rendezvous
+	// into the proc, rendezvous back at Park. This is the expensive path
+	// that completion chains amortize.
+	e := NewEngine()
+	p := e.Go("w", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Park()
+		}
+	})
+	e.Run(Forever) // start the proc; it parks immediately
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Wake(p)
+		e.Run(Forever)
+	}
+}
+
+func BenchmarkChainProtocol(b *testing.B) {
+	// A five-link chain per iteration — the shape of a THE-protocol steal —
+	// costing five callback events but only one proc handoff.
+	e := NewEngine()
+	e.Go("thief", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c := e.NewChain(p)
+			k := 0
+			var step func()
+			step = func() {
+				if k == 4 {
+					c.Complete()
+					return
+				}
+				k++
+				c.Then(1, step)
+			}
+			c.Then(1, step)
+			c.Wait()
+		}
+	})
+	b.ResetTimer()
+	e.Run(Forever)
+}
+
 func TestProcPanicRecoveredInBodyIsNotFatal(t *testing.T) {
 	// A body that recovers its own panic keeps the simulation alive.
 	e := NewEngine()

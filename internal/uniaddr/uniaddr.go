@@ -281,13 +281,32 @@ func (m *Manager) FreeEvac(addr VAddr, size int) { m.Evac.Free(addr, size) }
 // resuming a remotely suspended thread. The transfer cost (latency +
 // size/bandwidth) is charged to p via the fabric. It reports false on an
 // address conflict (counted), in which case no copy happens.
-func (m *Manager) MigrateIn(p *sim.Proc, src rdma.Loc, addr VAddr, size int) bool {
+//
+// MigrateInAsync is the split-phase form: the reservation happens at issue
+// time (so a conflict is reported synchronously via the return value), the
+// stack bytes land at the transfer's completion time, and `then` runs at
+// that instant as one link of chain c.
+func (m *Manager) MigrateInAsync(c *sim.Chain, src rdma.Loc, addr VAddr, size int, then func()) bool {
 	if !m.Uni.Reserve(addr, size) {
 		m.St.Conflicts++
 		return false
 	}
-	m.Fab.Get(p, m.Rank, src, m.UniBytes(addr, size))
-	m.St.MigrationsIn++
-	m.St.BytesMoved += uint64(size)
+	m.Fab.GetAsync(c, m.Rank, src, m.UniBytes(addr, size), func() {
+		m.St.MigrationsIn++
+		m.St.BytesMoved += uint64(size)
+		then()
+	})
+	return true
+}
+
+// MigrateIn is the blocking park-until-complete form of MigrateInAsync.
+func (m *Manager) MigrateIn(p *sim.Proc, src rdma.Loc, addr VAddr, size int) bool {
+	c := m.Fab.Eng.NewChain(p)
+	if !m.MigrateInAsync(c, src, addr, size, c.Complete) {
+		c.Complete() // unused chain: mark done so Wait releases it instantly
+		c.Wait()
+		return false
+	}
+	c.Wait()
 	return true
 }

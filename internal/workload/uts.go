@@ -4,6 +4,7 @@ import (
 	"crypto/sha1"
 	"encoding/binary"
 	"math"
+	"sync"
 
 	"contsteal/internal/core"
 	"contsteal/internal/sim"
@@ -89,9 +90,15 @@ func (t UTSTree) NumChildren(n UTSNode) int {
 	if b <= 0 {
 		return 0
 	}
-	u := float64(binary.BigEndian.Uint32(n.Desc[16:20])) / float64(1<<32)
 	p := 1.0 / (1.0 + b)
-	m := int(math.Floor(math.Log(1-u) / math.Log(1-p)))
+	return t.sample(n, math.Log(1-p))
+}
+
+// sample finishes the geometric draw given the node and the depth factor
+// log(1−p(d)).
+func (t UTSTree) sample(n UTSNode, logP float64) int {
+	u := float64(binary.BigEndian.Uint32(n.Desc[16:20])) / float64(1<<32)
+	m := int(math.Floor(math.Log(1-u) / logP))
 	if m < 0 {
 		m = 0
 	}
@@ -101,20 +108,88 @@ func (t UTSTree) NumChildren(n UTSNode) int {
 	return m
 }
 
+// logTable precomputes log(1−p(d)) for every depth below GenMx. p depends
+// only on the depth, so recomputing math.Log(1−p) per node in a serial walk
+// is wasted host work; entry d is 0 (a value log(1−p) can never take) when
+// b(d) ≤ 0 and the node has no children. The table holds exactly the values
+// NumChildren computes, so table-driven walks are bit-identical.
+func (t UTSTree) logTable() []float64 {
+	tbl := make([]float64, t.GenMx)
+	for d := range tbl {
+		b := t.B0
+		if d > 0 {
+			b = t.B0 * (1.0 - float64(d)/float64(t.GenMx))
+		}
+		if b <= 0 {
+			continue
+		}
+		tbl[d] = math.Log(1 - 1.0/(1.0+b))
+	}
+	return tbl
+}
+
+// countWalk counts the subtree under n using the precomputed depth table.
+func (t UTSTree) countWalk(n UTSNode, tbl []float64) int64 {
+	count := int64(1)
+	if n.Depth >= t.GenMx || tbl[n.Depth] == 0 {
+		return count
+	}
+	nc := t.sample(n, tbl[n.Depth])
+	for i := 0; i < nc; i++ {
+		count += t.countWalk(t.Child(n, i), tbl)
+	}
+	return count
+}
+
 // CountSerial walks the tree depth-first without the runtime and returns
 // the node count — ground truth for tests and the serial baseline for
 // throughput normalization.
 func (t UTSTree) CountSerial() int64 {
-	var walk func(n UTSNode) int64
-	walk = func(n UTSNode) int64 {
-		count := int64(1)
-		nc := t.NumChildren(n)
-		for i := 0; i < nc; i++ {
-			count += walk(t.Child(n, i))
-		}
-		return count
+	return t.countWalk(t.Root(), t.logTable())
+}
+
+// shapeKey identifies a tree's generative parameters: everything that
+// determines its shape and node count (Name and NodeWork do not).
+type shapeKey struct {
+	b0       float64
+	genMx    int
+	rootSeed int32
+	maxCh    int
+}
+
+func (t UTSTree) shape() shapeKey {
+	return shapeKey{t.B0, t.GenMx, t.RootSeed, t.MaxChildren}
+}
+
+// countMemo caches whole-tree node counts per shape, and subtreeMemo caches
+// the serial-subtree counts that the fork-join traversal aggregates below
+// its sequential threshold. Worker-count sweeps run the identical tree many
+// times, and every job used to regenerate millions of SHA-1 descriptors the
+// previous job had already produced; the counts are pure functions of
+// (shape, node), so memoizing them changes no simulated quantity. Both maps
+// are safe under the parallel sweep pool: concurrent stores for the same
+// key write the same value.
+var (
+	countMemo   sync.Map // shapeKey -> int64
+	subtreeMemo sync.Map // subtreeKey -> int64
+)
+
+type subtreeKey struct {
+	shape shapeKey
+	desc  [20]byte
+	depth int
+}
+
+// Count returns the tree's node count, memoized per shape for the lifetime
+// of the process.
+func (t UTSTree) Count() int64 {
+	k := t.shape()
+	if v, ok := countMemo.Load(k); ok {
+		return v.(int64)
 	}
-	return walk(t.Root())
+	n := t.CountSerial()
+	countMemo.Store(k, n)
+	return n
 }
 
 // SerialTime returns the modelled single-core execution time of the tree on
@@ -163,18 +238,19 @@ func utsVisit(c *core.Ctx, t UTSTree, n UTSNode, seqThreshold int) int64 {
 }
 
 // utsVisitSerial counts a whole subtree inside the current task, charging
-// the aggregate node work in one Compute call.
+// the aggregate node work in one Compute call. The count is memoized per
+// (shape, node): within one sweep the same serial subtrees are walked by
+// every job, and on a steal the thief's recount of an already-walked
+// subtree is pure recomputation.
 func utsVisitSerial(c *core.Ctx, t UTSTree, n UTSNode) int64 {
-	var walk func(n UTSNode) int64
-	walk = func(n UTSNode) int64 {
-		count := int64(1)
-		nc := t.NumChildren(n)
-		for i := 0; i < nc; i++ {
-			count += walk(t.Child(n, i))
-		}
-		return count
+	k := subtreeKey{t.shape(), n.Desc, n.Depth}
+	var count int64
+	if v, ok := subtreeMemo.Load(k); ok {
+		count = v.(int64)
+	} else {
+		count = t.countWalk(n, t.logTable())
+		subtreeMemo.Store(k, count)
 	}
-	count := walk(n)
 	c.Compute(sim.Time(count) * t.NodeWork)
 	return count
 }
