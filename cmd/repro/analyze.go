@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"contsteal/internal/core"
+	"contsteal/internal/sim"
+)
+
+// analyze implements `repro analyze <trace.json>`: a DelaySpotter-style
+// delay attribution computed purely from the event log, cross-checked
+// against the counter-derived statistics embedded in the trace file. Each
+// worker's virtual time decomposes into
+//
+//	busy         — executing user compute,
+//	steal-search — failed steal attempts (looking for work, finding none),
+//	steal-xfer   — successful steal protocol + payload transfer,
+//	oj-wait      — outstanding joins: resumable continuations waiting for a
+//	               worker (attributed to the rank that eventually ran them),
+//	other        — the residual: scheduler bookkeeping, entry management,
+//	               idle backoff.
+//
+// fabric-wait is reported alongside: the rank's time inside raw remote RDMA
+// ops. It is a different cut of the same timeline (the protocol phases above
+// are built out of fabric ops), so it overlaps the other buckets rather than
+// adding to them.
+func (a *app) analyze(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	defer f.Close()
+	tr, err := core.ReadTraceJSON(f)
+	if err != nil {
+		return fmt.Errorf("analyze: %s: %w", path, err)
+	}
+	if tr.Workers == 0 {
+		return fmt.Errorf("analyze: %s: empty trace (workers=0)", path)
+	}
+
+	att := tr.Attribution()
+	pct := func(d sim.Time) string {
+		if tr.ExecTime == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(d)/float64(tr.ExecTime))
+	}
+	fmt.Fprintf(a.stdout, "\n== Delay attribution: %s (%d workers, exec %v) ==\n",
+		path, tr.Workers, tr.ExecTime)
+	w := a.tw()
+	fmt.Fprintln(w, "rank\tbusy\tsteal-search\tsteal-xfer\toj-wait\tother\tfabric-wait\tsteals\tfails\tresumes")
+	var tot core.RankAttribution
+	for _, r := range att {
+		other := tr.ExecTime - r.Busy - r.StealSearch - r.StealXfer
+		fmt.Fprintf(w, "%d\t%v (%s)\t%v (%s)\t%v (%s)\t%v\t%v (%s)\t%v\t%d\t%d\t%d\n",
+			r.Rank,
+			r.Busy, pct(r.Busy),
+			r.StealSearch, pct(r.StealSearch),
+			r.StealXfer, pct(r.StealXfer),
+			r.OJWait,
+			other, pct(other),
+			r.FabricWait,
+			r.Steals, r.Fails, r.Resumes)
+		tot.Busy += r.Busy
+		tot.StealSearch += r.StealSearch
+		tot.StealXfer += r.StealXfer
+		tot.OJWait += r.OJWait
+		tot.FabricWait += r.FabricWait
+		tot.Steals += r.Steals
+		tot.Fails += r.Fails
+		tot.Resumes += r.Resumes
+	}
+	fmt.Fprintf(w, "Σ\t%v\t%v\t%v\t%v\t\t%v\t%d\t%d\t%d\n",
+		tot.Busy, tot.StealSearch, tot.StealXfer, tot.OJWait, tot.FabricWait,
+		tot.Steals, tot.Fails, tot.Resumes)
+	w.Flush()
+
+	// The cross-check: every trace-derived total must equal its
+	// counter-derived Check value exactly.
+	ck := tr.Check
+	cw := a.tw()
+	fmt.Fprintln(a.stdout, "\nCross-check against run statistics (Table II counters):")
+	fmt.Fprintln(cw, "quantity\tfrom trace\tfrom counters")
+	fmt.Fprintf(cw, "busy time\t%v\t%v\n", tot.Busy, ck.BusyTime)
+	fmt.Fprintf(cw, "steal latency\t%v\t%v\n", tot.StealXfer, ck.StealLatency)
+	fmt.Fprintf(cw, "steal search\t%v\t%v\n", tot.StealSearch, ck.StealSearchTime)
+	fmt.Fprintf(cw, "outstanding-join time\t%v\t%v\n", tot.OJWait, ck.OutstandingTime)
+	fmt.Fprintf(cw, "fabric time\t%v\t%v\n", tot.FabricWait, ck.FabricTime)
+	fmt.Fprintf(cw, "steals ok / fail\t%d / %d\t%d / %d\n", tot.Steals, tot.Fails, ck.StealsOK, ck.StealsFail)
+	fmt.Fprintf(cw, "resumes\t%d\t%d\n", tot.Resumes, ck.Resumed)
+	cw.Flush()
+	if err := tr.Verify(); err != nil {
+		return fmt.Errorf("analyze: %v", err)
+	}
+	fmt.Fprintln(a.stdout, "all totals agree exactly")
+	return nil
+}

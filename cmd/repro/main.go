@@ -12,6 +12,7 @@
 //	repro table3 [-machine ...] [-workers N]
 //	repro fig12  [-machine ...]
 //	repro all    (runs everything at default scale)
+//	repro analyze <trace.json>   (delay attribution from a -trace file)
 //
 // Every experiment is a grid of independent deterministic simulations;
 // -parallel N runs up to N of them concurrently (default: all CPUs) with
@@ -19,6 +20,17 @@
 // value: each simulation runs on its own sequential single-clock engine and
 // rows are reassembled in grid order. -json dumps the structured rows
 // (virtual times in integer nanoseconds) alongside the tables and TSV.
+//
+// Observability: -trace FILE records the full layered event trace of the
+// first simulated run of the invocation (the first grid point — the same
+// one for every -parallel value) as raw JSON, or as Chrome trace format
+// with -trace-format chrome (open in https://ui.perfetto.dev). -metrics
+// FILE writes the run's deterministic metrics registry as TSV. A raw JSON
+// trace feeds `repro analyze`, which decomposes each worker's virtual time
+// into busy / steal-search / steal-transfer / outstanding-join /
+// fabric-wait buckets and cross-checks every total against the embedded
+// counter-derived statistics — the trace and the stats must agree to the
+// tick.
 //
 // Absolute numbers are simulation outputs, not hardware measurements; the
 // experiment shapes are what reproduce the paper (see EXPERIMENTS.md).
@@ -65,7 +77,7 @@ type section struct {
 }
 
 func usageErr() error {
-	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|all} [flags]")
+	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|all|analyze} [flags]")
 }
 
 // run executes one repro invocation against the given writers. All tables
@@ -90,6 +102,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	dequeCap := fs.Int("dequecap", 0, "per-worker deque capacity override")
 	tsvDir := fs.String("tsv", "", "also write the series as TSV files into this directory")
 	jsonPath := fs.String("json", "", `also dump all rows as JSON to this file ("-" = stdout)`)
+	tracePath := fs.String("trace", "", "record the event trace of the first simulated run to this file")
+	traceFormat := fs.String("trace-format", "json", "trace file format: json (for `repro analyze`) or chrome (for ui.perfetto.dev)")
+	metricsPath := fs.String("metrics", "", "write the first run's deterministic metrics registry as TSV to this file")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "host worker pool for the sweep grid (1 = sequential)")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -137,6 +152,14 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	o := experiments.Options{
 		Machine: *machine, Workers: *workers, Scale: *scale, Seed: *seed,
 		WorkScale: *workScale, DequeCap: *dequeCap, Parallel: *parallel,
+	}
+	if *traceFormat != "json" && *traceFormat != "chrome" {
+		return fmt.Errorf("unknown -trace-format %q (want json or chrome)", *traceFormat)
+	}
+	var obsCol *experiments.ObsCollector
+	if *tracePath != "" || *metricsPath != "" {
+		obsCol = &experiments.ObsCollector{Trace: *tracePath != "", Metrics: *metricsPath != ""}
+		o.Obs = obsCol
 	}
 	sweep, err := parseList(*workersList)
 	if err != nil {
@@ -194,10 +217,67 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		a.printFig8("Fig. 9: UTS throughput (ours) on wisteria", experiments.Fig9(o2, *tree, sweep, *seqDepth))
 		a.printTable3(experiments.Table3(o, nil))
 		a.printFig12(experiments.Fig12(o, nil, nil))
+	case "analyze":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: repro analyze <trace.json>")
+		}
+		return a.analyze(fs.Arg(0))
 	default:
 		return usageErr()
 	}
+	if err := a.writeObs(obsCol, *tracePath, *traceFormat, *metricsPath); err != nil {
+		return err
+	}
 	return a.writeJSON()
+}
+
+// writeObs writes the collected trace and/or metrics files.
+func (a *app) writeObs(oc *experiments.ObsCollector, tracePath, traceFormat, metricsPath string) error {
+	if oc == nil {
+		return nil
+	}
+	if !oc.Done {
+		return fmt.Errorf("-trace/-metrics: no fork-join runtime job ran in this invocation")
+	}
+	if tracePath != "" {
+		if oc.Log == nil {
+			return fmt.Errorf("-trace: run %s recorded no trace", oc.Coord)
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		if traceFormat == "chrome" {
+			err = oc.Log.WriteChromeTrace(f)
+		} else {
+			err = oc.Log.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		fmt.Fprintf(a.stdout, "(trace of %s written to %s)\n", oc.Coord, tracePath)
+	}
+	if metricsPath != "" {
+		if oc.Stats.Obs == nil {
+			return fmt.Errorf("-metrics: run %s collected no registry", oc.Coord)
+		}
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		err = oc.Stats.Obs.WriteTSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		fmt.Fprintf(a.stdout, "(metrics of %s written to %s)\n", oc.Coord, metricsPath)
+	}
+	return nil
 }
 
 // record adds one experiment's structured rows to the JSON dump.

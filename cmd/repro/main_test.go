@@ -67,6 +67,80 @@ func TestGoldenFig9TSV(t *testing.T) {
 		[]string{"uts_T1WL'_wisteria.tsv"})
 }
 
+// TestGoldenFig6TSVTraceOn reruns the fig6 golden slice with tracing and
+// metrics enabled and requires the TSV series to stay byte-identical to the
+// same committed fixture: observability must only observe — it cannot
+// perturb virtual time. The produced trace must also pass the analyze
+// cross-check and the metrics TSV must be non-empty.
+func TestGoldenFig6TSVTraceOn(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.tsv")
+	var stdout bytes.Buffer
+	args := []string{"fig6", "-bench", "pfor", "-workers", "18", "-n", "128", "-seed", "7",
+		"-trace", tracePath, "-metrics", metricsPath, "-tsv", dir, "-quiet", "-parallel", "4"}
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("repro %s: %v", strings.Join(args, " "), err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "fig6_pfor_itoa.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "fig6_pfor_itoa.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("TSV with tracing on diverges from the tracing-off fixture.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := run([]string{"analyze", tracePath}, io.Discard, io.Discard); err != nil {
+		t.Errorf("analyze on produced trace: %v", err)
+	}
+	if m, err := os.ReadFile(metricsPath); err != nil || len(m) == 0 {
+		t.Errorf("metrics TSV missing or empty (err=%v, %d bytes)", err, len(m))
+	}
+}
+
+// TestGoldenTraceJSON pins the complete event log of a micro UTS run (the
+// fig9 configuration at tiny scale) as a byte-exact fixture: every span of
+// every layer — scheduler, deque protocol, remote objects, stack migration,
+// raw RDMA — in engine-dispatch order. Any change to protocol structure,
+// cost charging, or event ordering shows up as a fixture diff. Refresh with
+// `go test ./cmd/repro -update`.
+func TestGoldenTraceJSON(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace_uts_micro.json")
+	args := []string{"fig9", "-tree", "T1L", "-workers-list", "4", "-seqdepth", "10", "-seed", "7",
+		"-trace", tracePath, "-quiet", "-parallel", "4"}
+	if err := run(args, io.Discard, io.Discard); err != nil {
+		t.Fatalf("repro %s: %v", strings.Join(args, " "), err)
+	}
+	got, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_uts_micro.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing fixture %s (create it with `go test ./cmd/repro -update`): %v", golden, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("event log diverges from golden fixture %s (%d vs %d bytes); run with -update if intended",
+				golden, len(got), len(want))
+		}
+	}
+	// The committed fixture must itself pass the delay-attribution
+	// cross-check: trace totals == counter totals, to the tick.
+	if err := run([]string{"analyze", golden}, io.Discard, io.Discard); err != nil {
+		t.Errorf("analyze on golden fixture: %v", err)
+	}
+}
+
 // TestCLIParallelByteIdentical drives the full CLI surface (tables to
 // stdout, JSON dump) at -parallel 1 and -parallel 8 and requires
 // byte-identical bytes — the end-to-end form of the sweep determinism

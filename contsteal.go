@@ -118,6 +118,14 @@ func UniformMachine(lat Time) *Machine { return topo.Uniform(lat) }
 // Int64Ret encodes an int64 as a task return value.
 func Int64Ret(v int64) []byte { return core.Int64Ret(v) }
 
+// RetInt64 decodes a task return value produced by Int64Ret.
+func RetInt64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// Trace is the event log captured by a run with Config.Trace set; obtain it
+// from Runtime.TraceLog after Run returns. WriteChromeTrace exports it for
+// https://ui.perfetto.dev, Attribution decomposes per-worker delay.
+type Trace = core.Trace
+
 // Runtime is a configured simulated cluster. Most programs just call Run;
 // construct a Runtime explicitly when substrates (e.g. global arrays) must
 // be allocated before the computation starts.

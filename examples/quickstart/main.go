@@ -2,10 +2,18 @@
 // inspect the run statistics.
 //
 // Run with: go run ./examples/quickstart
+//
+// Set TRACE=1 to also capture the full virtual-time event log and write it
+// as a Chrome trace (quickstart.trace.json). Open the file at
+// https://ui.perfetto.dev to see every worker's compute spans, steal
+// protocol phases, and raw RDMA ops on a per-node/per-rank timeline:
+//
+//	TRACE=1 go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"contsteal"
 )
@@ -30,12 +38,17 @@ func main() {
 		Workers: 144,              // four 36-core nodes
 		Policy:  contsteal.ContGreedy,
 		Seed:    1,
+		// Tracing records every span (compute, steal phases, remote-object
+		// ops, RDMA) in virtual time. It only observes — enabling it never
+		// changes the simulated schedule or the statistics.
+		Trace: os.Getenv("TRACE") == "1",
 	}
-	result, stats := contsteal.RunInt64(cfg, func(c *contsteal.Ctx) int64 {
-		return fib(c, 22)
+	rt := contsteal.NewRuntime(cfg)
+	ret, stats := rt.Run(func(c *contsteal.Ctx) []byte {
+		return contsteal.Int64Ret(fib(c, 22))
 	})
 
-	fmt.Printf("fib(22) = %d\n", result)
+	fmt.Printf("fib(22) = %d\n", contsteal.RetInt64(ret))
 	fmt.Printf("virtual execution time: %v on %d workers\n", stats.ExecTime, stats.Workers)
 	fmt.Printf("tasks executed:         %d\n", stats.Work.Tasks)
 	fmt.Printf("successful steals:      %d (avg latency %v, avg stolen %.0f bytes)\n",
@@ -44,4 +57,21 @@ func main() {
 		stats.Join.Outstanding, stats.AvgOutstandingJoinTime())
 	fmt.Printf("stack migrations:       %d (%d KiB moved)\n",
 		stats.Stack.MigrationsIn, stats.Stack.BytesMoved/1024)
+
+	if tr := rt.TraceLog(); tr != nil {
+		f, err := os.Create("quickstart.trace.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:                  %d events -> quickstart.trace.json (open at https://ui.perfetto.dev)\n",
+			len(tr.Events))
+	}
 }

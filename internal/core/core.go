@@ -28,6 +28,7 @@ import (
 	"math/rand"
 
 	"contsteal/internal/deque"
+	"contsteal/internal/obs"
 	"contsteal/internal/rdma"
 	"contsteal/internal/remobj"
 	"contsteal/internal/sim"
@@ -117,10 +118,25 @@ type Config struct {
 	// iso-address scheme of PM2/Charm++ for comparison (§II-D).
 	StackScheme StackScheme
 
-	// Trace enables per-event execution tracing (task spans, steals,
-	// suspends/resumes/migrations); retrieve with Runtime.TraceLog and
-	// export via Trace.WriteChromeTrace.
+	// Trace enables per-event execution tracing across every layer
+	// (scheduler task/compute/steal spans, deque steal-protocol phases,
+	// remote-object management, messaging, stack migration, and raw RDMA
+	// ops); retrieve with Runtime.TraceLog and export via Trace.WriteJSON
+	// or Trace.WriteChromeTrace. Tracing only observes: it adds no events
+	// to the simulation and cannot perturb virtual time.
 	Trace bool
+
+	// Tracer, when non-nil, streams events to a custom obs.Tracer sink
+	// instead of the built-in recorder (TraceLog returns nil in that
+	// case). Takes precedence over Trace.
+	Tracer obs.Tracer
+
+	// Metrics enables the deterministic metrics registry: per-worker
+	// counters and fixed-bucket virtual-time histograms (steal latency,
+	// protocol chain latencies, outstanding-join wait, deque occupancy),
+	// merged in rank order so the output is byte-stable regardless of host
+	// parallelism. Retrieve via RunStats.Obs.
+	Metrics bool
 }
 
 // StackScheme selects the stack-address management scheme.
@@ -198,7 +214,8 @@ type Runtime struct {
 	isoNext uint64
 	isoHigh uint64
 
-	tr *traceState // non-nil when Config.Trace is set
+	tr        *traceState // non-nil when Config.Trace or Config.Tracer is set
+	lastStats *RunStats   // stats of the completed run (for TraceLog's Check block)
 }
 
 // New builds a runtime. Call Run exactly once.
@@ -213,8 +230,16 @@ func New(cfg Config) *Runtime {
 		objs:     remobj.NewSpace(fab, cfg.RemoteFree),
 		joinInfo: make(map[rdma.Loc]*joinInfo),
 	}
-	if cfg.Trace {
-		rt.tr = newTraceState(cfg.Workers)
+	if cfg.Tracer != nil || cfg.Trace {
+		tr := cfg.Tracer
+		var rec *obs.Recorder
+		if tr == nil {
+			rec = obs.NewRecorder()
+			tr = rec
+		}
+		rt.tr = newTraceState(cfg.Workers, tr, rec)
+		fab.Tr = tr
+		rt.objs.SetTracer(tr)
 	}
 	entrySize := contEntrySize
 	if !cfg.Policy.Continuation() {
@@ -228,6 +253,13 @@ func New(cfg Config) *Runtime {
 			dq:   deque.New(fab, r, cfg.DequeCap, entrySize),
 			ua:   uniaddr.New(fab, r, cfg.UniRegionBytes, cfg.EvacRegionBytes),
 			rng:  rand.New(rand.NewSource(cfg.Seed + int64(r)*0x9E3779B9)),
+		}
+		if rt.tr != nil {
+			w.dq.Tr = rt.tr.tr
+			w.ua.Tr = rt.tr.tr
+		}
+		if cfg.Metrics {
+			w.ob = newWorkerObs()
 		}
 		rt.workers[r] = w
 	}
@@ -312,7 +344,32 @@ func (rt *Runtime) collect(end sim.Time) RunStats {
 		rs.Stack.BytesMoved += w.ua.St.BytesMoved
 		rs.Stack.Conflicts += w.ua.St.Conflicts
 	}
+	rt.collectObs(&rs)
+	rt.lastStats = &rs
 	return rs
+}
+
+// collectObs merges the per-worker metric registries in rank order (so the
+// merged output is byte-stable regardless of host parallelism) and snapshots
+// the headline counters from the summed worker stats.
+func (rt *Runtime) collectObs(rs *RunStats) {
+	if len(rt.workers) == 0 || rt.workers[0].ob == nil {
+		return
+	}
+	m := obs.NewRegistry()
+	for _, w := range rt.workers {
+		m.Merge(w.ob.reg)
+	}
+	m.Counter("spawns").Add(rs.Work.Spawns)
+	m.Counter("tasks").Add(rs.Work.Tasks)
+	m.Counter("joins").Add(rs.Work.Joins)
+	m.Counter("steals.ok").Add(rs.Work.StealsOK)
+	m.Counter("steals.fail").Add(rs.Work.StealsFail)
+	m.Counter("migrations").Add(rs.Work.Migrations)
+	m.Counter("waitq.resumes").Add(rs.Work.WaitQResumes)
+	m.Counter("oj.outstanding").Add(rs.Join.Outstanding)
+	m.Counter("oj.resumed").Add(rs.Join.Resumed)
+	rs.Obs = m
 }
 
 // finish is called by the root thread when it completes.
@@ -357,18 +414,30 @@ func (rt *Runtime) checkReady(_ rdma.Loc, ji *joinInfo) {
 	}
 }
 
-// joinResumed records that a suspended join's continuation resumed. The
-// elapsed time since it became ready is the outstanding-join time.
-func (rt *Runtime) joinResumed(e rdma.Loc) {
+// joinResumed records that a suspended join's continuation resumed on
+// worker w (running task `task`, -1 for buried RtC joins). The elapsed time
+// since it became ready is the outstanding-join time; the resume trace span
+// covers exactly that window, so Σ resume durations == OutstandingTime.
+func (rt *Runtime) joinResumed(w *Worker, e rdma.Loc, task int64) {
 	ji := rt.joinInfo[e]
 	if ji == nil {
 		return
 	}
 	if ji.ready {
-		rt.jstats.OutstandingTime += rt.eng.Now() - ji.readyAt
+		wait := rt.eng.Now() - ji.readyAt
+		rt.jstats.OutstandingTime += wait
 		rt.jstats.Resumed++
 		rt.readyOJ--
 		ji.ready = false
+		if rt.tr != nil {
+			rt.tr.tr.Event(obs.Event{
+				T: ji.readyAt, Dur: wait, Rank: w.rank, Kind: TraceResume,
+				Task: task, Peer: -1,
+			})
+		}
+		if w.ob != nil {
+			w.ob.ojWait.Observe(wait)
+		}
 	}
 	ji.suspended = false
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 
+	"contsteal/internal/obs"
 	"contsteal/internal/sim"
 )
 
@@ -46,10 +47,24 @@ func (c *Ctx) Access() (*sim.Proc, int) { return c.p, c.worker().rank }
 
 // Compute models d nanoseconds of (ITO-A-reference) computation: the
 // paper's compute(M) busy loop. The duration is scaled by the machine's
-// core speed and counted as busy time.
+// core speed and counted as busy time. The trace span covers exactly the
+// BusyTime increment, so Σ compute span durations == Work.BusyTime.
 func (c *Ctx) Compute(d sim.Time) {
+	w := c.worker()
 	scaled := c.rt.cfg.Machine.Compute(d)
-	c.worker().st.BusyTime += scaled
+	w.st.BusyTime += scaled
+	if ts := c.rt.tr; ts != nil {
+		task := int64(-1)
+		if c.t != nil {
+			task = c.t.id
+		} else {
+			task = ts.currentTask(w.rank) // RtC: innermost inline task
+		}
+		ts.tr.Event(obs.Event{
+			T: c.p.Now(), Dur: scaled, Rank: w.rank, Kind: obs.KindCompute,
+			Task: task, Peer: -1,
+		})
+	}
 	c.p.Sleep(scaled)
 }
 
@@ -88,6 +103,9 @@ func (c *Ctx) spawn(fn TaskFunc, consumers int) Handle {
 		buf := make([]byte, rt.cfg.ChildTaskBytes)
 		encodeChildEntry(buf, ct)
 		w.dq.Push(p, buf, ct)
+		if w.ob != nil {
+			w.ob.dequeOcc.Observe(sim.Time(w.dq.Len()))
+		}
 		return h
 	}
 
@@ -98,6 +116,9 @@ func (c *Ctx) spawn(fn TaskFunc, consumers int) Handle {
 	encodeContEntry(buf[:], entCont, t)
 	t.state = tInDeque
 	w.dq.Push(p, buf[:], t)
+	if w.ob != nil {
+		w.ob.dequeOcc.Observe(sim.Time(w.dq.Len()))
+	}
 
 	child := newContThread(w, fn, h, t.id, false)
 	w.setCurrent(child)

@@ -75,15 +75,28 @@ func (rt *Runtime) getRetval(c *Ctx, h Handle) []byte {
 func (rt *Runtime) consumeEntry(c *Ctx, h Handle) {
 	w, p := c.worker(), c.p
 	if h.Consumers <= 1 {
-		rt.objs.Free(p, w.rank, h.E)
-		rt.dropJoinInfo(h.E)
+		rt.freeEntry(c, h)
 		return
 	}
 	old := rt.fab.FetchAdd(p, w.rank, field(h.E, meConsumed, 8), 1)
 	if old == int64(h.Consumers)-1 {
-		rt.objs.Free(p, w.rank, h.E)
-		rt.dropJoinInfo(h.E)
+		rt.freeEntry(c, h)
 	}
+}
+
+// freeEntry releases a consumed entry, timing remote frees (FREEREMOTE,
+// §III-B) for the chain.free.remote histogram: a LockQueue free blocks for
+// its lock round trips, a LocalCollection free is one non-blocking put.
+func (rt *Runtime) freeEntry(c *Ctx, h Handle) {
+	w, p := c.worker(), c.p
+	if w.ob != nil && int(h.E.Rank) != w.rank {
+		start := p.Now()
+		rt.objs.Free(p, w.rank, h.E)
+		w.ob.chainFree.Observe(p.Now() - start)
+	} else {
+		rt.objs.Free(p, w.rank, h.E)
+	}
+	rt.dropJoinInfo(h.E)
 }
 
 // ---------------------------------------------------------------------------
@@ -169,7 +182,7 @@ func (rt *Runtime) joinGreedy(c *Ctx, h Handle) []byte {
 			rt.objs.Free(p, w.rank, cloc)
 			t.w.bringTo(p, t) // restore our just-evacuated stack
 			p.Sleep(rt.cfg.Machine.CtxSwitch)
-			rt.joinResumed(h.E)
+			rt.joinResumed(t.w, h.E, t.id)
 			t.waitingOn = rdma.Loc{}
 			t.state = tRunning
 		}
@@ -257,7 +270,7 @@ func (rt *Runtime) joinRtC(c *Ctx, h Handle) []byte {
 			}
 			f = rt.fab.GetInt64(p, w.rank, flagWord(h.E))
 		}
-		rt.joinResumed(h.E)
+		rt.joinResumed(w, h.E, -1) // buried join: no thread identity
 	}
 	ret := rt.getRetval(c, h)
 	rt.consumeEntry(c, h)
@@ -334,6 +347,7 @@ func (rt *Runtime) joinFutureGreedy(c *Ctx, h Handle) []byte {
 		t.state = tSuspended
 		t.waitingOn = h.E
 		rt.joinSuspended(h.E)
+		rt.traceEvent(TraceSuspend, w.rank, t.id, -1, p.Now())
 		if s := rt.fab.FetchAdd(p, w.rank, field(h.E, meSlots+int(i)*slotStride, 8), 1); s == 0 {
 			// Registered before completion: park until the die resumes us.
 			p.Sleep(rt.cfg.Machine.CtxSwitch)
@@ -344,7 +358,7 @@ func (rt *Runtime) joinFutureGreedy(c *Ctx, h Handle) []byte {
 			rt.objs.Free(p, w.rank, cloc)
 			t.w.bringTo(p, t)
 			p.Sleep(rt.cfg.Machine.CtxSwitch)
-			rt.joinResumed(h.E)
+			rt.joinResumed(t.w, h.E, t.id)
 			t.waitingOn = rdma.Loc{}
 			t.state = tRunning
 		}

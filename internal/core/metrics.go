@@ -1,0 +1,33 @@
+package core
+
+import "contsteal/internal/obs"
+
+// workerObs holds one worker's metric instruments (Config.Metrics). Each
+// worker accumulates into its own registry — no sharing, so recording is
+// race-free under any host parallelism — and collectObs merges them in rank
+// order for deterministic output.
+type workerObs struct {
+	reg        *obs.Registry
+	stealLat   *obs.Hist // full latency of successful steals (protocol + payload + ctx switch)
+	chainSteal *obs.Hist // deque steal-protocol chain latency, successful attempts
+	chainFail  *obs.Hist // deque steal-protocol chain latency, failed attempts
+	chainFree  *obs.Hist // remote-free latency at the freeing rank (LockQueue round trips or LocalCollection bit put)
+	migrate    *obs.Hist // payload copy time per arriving migration
+	ojWait     *obs.Hist // outstanding-join wait per resume (ready -> resumed)
+	dequeOcc   *obs.Hist // own-deque occupancy sampled after each push
+}
+
+func newWorkerObs() *workerObs {
+	reg := obs.NewRegistry()
+	tb := obs.TimeBuckets()
+	return &workerObs{
+		reg:        reg,
+		stealLat:   reg.Hist("steal.latency", tb),
+		chainSteal: reg.Hist("chain.steal", tb),
+		chainFail:  reg.Hist("chain.steal.fail", tb),
+		chainFree:  reg.Hist("chain.free.remote", tb),
+		migrate:    reg.Hist("migrate.copy", tb),
+		ojWait:     reg.Hist("oj.wait", tb),
+		dequeOcc:   reg.Hist("deque.occupancy", obs.SmallCountBuckets()),
+	}
+}

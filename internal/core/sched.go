@@ -1,6 +1,7 @@
 package core
 
 import (
+	"contsteal/internal/obs"
 	"contsteal/internal/remobj"
 	"contsteal/internal/sim"
 )
@@ -40,11 +41,16 @@ func (w *Worker) schedule(p *sim.Proc) {
 		// 2. Random steal (skipped on a single worker).
 		if victim := w.pickVictim(); victim != nil {
 			start := p.Now()
-			if entry, obj, ok := victim.dq.Steal(p, w.rank); ok {
+			entry, obj, ok := victim.dq.Steal(p, w.rank)
+			chain := p.Now() - start
+			if ok {
+				if w.ob != nil {
+					w.ob.chainSteal.Observe(chain)
+				}
 				w.dispatchStolen(p, victim, entry, obj, start)
 				continue
 			}
-			w.st.StealsFail++
+			w.stealFailed(victim, start, chain)
 		}
 		// 3. Wait-queue round robin on failed steals.
 		if len(w.waitQ) > 0 {
@@ -137,8 +143,7 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 		copyTime := w.resume(p, t) // migrates the stack (Fig. 2 step 3)
 		w.st.StolenBytes += uint64(t.stackSize)
 		w.st.TaskCopyTime += copyTime
-		w.st.StealLatency += p.Now() - start
-		w.rt.traceEvent(TraceSteal, w.rank, t.id, victim.rank, start)
+		w.stealSucceeded(t.id, victim.rank, start, int64(t.stackSize))
 		p.Park()
 	case entChild:
 		ct := obj.(*childTask)
@@ -146,8 +151,7 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 		// by the deque protocol itself; account its payload portion.
 		w.st.StolenBytes += uint64(w.rt.cfg.ChildTaskBytes)
 		w.st.TaskCopyTime += w.rt.cfg.Machine.OneSided(w.rank, victim.rank, w.rt.cfg.ChildTaskBytes, false)
-		w.st.StealLatency += p.Now() - start
-		w.rt.traceEvent(TraceSteal, w.rank, ct.id, victim.rank, start)
+		w.stealSucceeded(ct.id, victim.rank, start, int64(w.rt.cfg.ChildTaskBytes))
 		if w.rt.cfg.Policy == ChildRtC {
 			w.runInline(p, ct)
 			return
@@ -157,6 +161,29 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 	default:
 		panic("core: unknown deque entry kind")
 	}
+}
+
+// stealSucceeded books a successful steal over the same window the trace
+// span covers, so Σ steal span durations == Work.StealLatency exactly.
+func (w *Worker) stealSucceeded(task int64, victim int, start sim.Time, size int64) {
+	lat := w.rt.eng.Now() - start
+	w.st.StealLatency += lat
+	if w.ob != nil {
+		w.ob.stealLat.Observe(lat)
+	}
+	w.rt.traceSteal(w.rank, task, victim, start, size)
+}
+
+// stealFailed books a failed attempt: the protocol chain window is the
+// steal-search time and becomes a steal.fail trace span over that window,
+// so Σ steal.fail durations == Work.StealSearchTime exactly.
+func (w *Worker) stealFailed(victim *Worker, start sim.Time, chain sim.Time) {
+	w.st.StealsFail++
+	w.st.StealSearchTime += chain
+	if w.ob != nil {
+		w.ob.chainFail.Observe(chain)
+	}
+	w.rt.traceEvent(obs.KindStealFail, w.rank, -1, victim.rank, start)
 }
 
 // startChildTask begins a stolen or locally popped child task as a fully
@@ -212,17 +239,21 @@ func (w *Worker) tryRunOneRtC(p *sim.Proc) bool {
 		return false
 	}
 	start := p.Now()
-	if _, obj, ok := victim.dq.Steal(p, w.rank); ok {
+	_, obj, ok := victim.dq.Steal(p, w.rank)
+	chain := p.Now() - start
+	if ok {
 		ct := obj.(*childTask)
 		w.st.StealsOK++
 		w.st.StolenBytes += uint64(w.rt.cfg.ChildTaskBytes)
 		w.st.TaskCopyTime += w.rt.cfg.Machine.OneSided(w.rank, victim.rank, w.rt.cfg.ChildTaskBytes, false)
-		w.st.StealLatency += p.Now() - start
-		w.rt.traceEvent(TraceSteal, w.rank, ct.id, victim.rank, start)
+		if w.ob != nil {
+			w.ob.chainSteal.Observe(chain)
+		}
+		w.stealSucceeded(ct.id, victim.rank, start, int64(w.rt.cfg.ChildTaskBytes))
 		w.runInline(p, ct)
 		return true
 	}
-	w.st.StealsFail++
+	w.stealFailed(victim, start, chain)
 	return false
 }
 

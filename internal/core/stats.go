@@ -1,6 +1,7 @@
 package core
 
 import (
+	"contsteal/internal/obs"
 	"contsteal/internal/rdma"
 	"contsteal/internal/remobj"
 	"contsteal/internal/sim"
@@ -14,9 +15,10 @@ type WorkerStats struct {
 	Joins  uint64
 	Tasks  uint64 // tasks/threads executed to completion on this worker
 
-	StealsOK      uint64
-	StealsFail    uint64
-	StealLatency  sim.Time // total latency of successful steals
+	StealsOK        uint64
+	StealsFail      uint64
+	StealLatency    sim.Time // total latency of successful steals
+	StealSearchTime sim.Time // total time spent on steal attempts that failed
 	StolenBytes   uint64   // payload bytes of stolen tasks (stack or descriptor)
 	TaskCopyTime  sim.Time // total time spent copying stolen task payloads
 	BusyTime      sim.Time // time spent executing user work (Compute)
@@ -73,6 +75,11 @@ type RunStats struct {
 	// address space consumed by thread stacks under the iso-address scheme
 	// (0 under uni-address) — the §II-D address-consumption comparison.
 	IsoVirtualBytes uint64
+
+	// Obs is the merged deterministic metrics registry, non-nil only when
+	// Config.Metrics was set. Workers are merged in rank order, so
+	// Obs.WriteTSV output is byte-stable across host parallelism levels.
+	Obs *obs.Registry
 }
 
 // AvgStealLatency returns the mean latency of successful steals.
@@ -124,6 +131,7 @@ func (w *WorkerStats) add(o *WorkerStats) {
 	w.StealsOK += o.StealsOK
 	w.StealsFail += o.StealsFail
 	w.StealLatency += o.StealLatency
+	w.StealSearchTime += o.StealSearchTime
 	w.StolenBytes += o.StolenBytes
 	w.TaskCopyTime += o.TaskCopyTime
 	w.BusyTime += o.BusyTime

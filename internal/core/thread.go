@@ -83,6 +83,7 @@ type Worker struct {
 
 	rootTask TaskFunc
 	st       WorkerStats
+	ob       *workerObs // non-nil when Config.Metrics is set
 }
 
 // setCurrent tracks which thread occupies the worker and maintains the
@@ -312,12 +313,14 @@ func (w *Worker) resume(p *sim.Proc, t *Thread) sim.Time {
 	copyTime := w.bringTo(p, t)
 	p.Sleep(w.rt.cfg.Machine.CtxSwitch)
 	if t.waitingOn.Valid() {
-		w.rt.joinResumed(t.waitingOn)
+		w.rt.joinResumed(w, t.waitingOn, t.id)
 		t.waitingOn = rdma.Loc{}
-		w.rt.traceEvent(TraceResume, w.rank, t.id, -1, p.Now())
 	}
 	if migrated {
 		w.rt.traceEvent(TraceMigrate, w.rank, t.id, -1, start)
+		if w.ob != nil {
+			w.ob.migrate.Observe(copyTime)
+		}
 	}
 	w.handoff(t)
 	return copyTime

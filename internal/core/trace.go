@@ -4,63 +4,91 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
+	"contsteal/internal/obs"
 	"contsteal/internal/sim"
 )
 
-// Execution tracing: a per-run event log in the spirit of the profiling the
+// Execution tracing: a layered event log in the spirit of the profiling the
 // paper uses for Fig. 7 and Table II (and of DelaySpotter, its reference
-// [50] for attributing scheduler-caused delays). Enabled by Config.Trace;
-// events carry virtual timestamps and can be exported as Chrome trace
-// format (chrome://tracing, Perfetto) for visual inspection.
+// [50] for attributing scheduler-caused delays). Enabled by Config.Trace
+// (built-in recorder) or Config.Tracer (custom sink); events carry virtual
+// timestamps and span every protocol layer: the scheduler (runs, computes,
+// steals, suspends/resumes, migrations), the RDMA fabric (one span per
+// remote op), the deque steal protocol (one span per chain link), remote-
+// object management, messaging, and stack migration. Export as raw JSON or
+// as Chrome trace format (https://ui.perfetto.dev) for visual inspection.
+//
+// Several scheduler-level span families are exact mirrors of RunStats
+// counters — incremented at the same code site over the same window — which
+// `repro analyze` exploits to cross-check the trace against the stats to
+// the tick (see TraceCheck).
 
-// TraceEventKind classifies trace events.
-type TraceEventKind string
+// TraceEventKind classifies trace events (alias of obs.Kind).
+type TraceEventKind = obs.Kind
 
-// Trace event kinds.
+// Scheduler-level trace event kinds, re-exported for compatibility.
 const (
-	TraceRun     TraceEventKind = "run"     // a task occupying a worker
-	TraceSteal   TraceEventKind = "steal"   // a successful steal (duration = latency)
-	TraceSuspend TraceEventKind = "suspend" // a join suspension (instant)
-	TraceResume  TraceEventKind = "resume"  // a suspended thread resuming (instant)
-	TraceMigrate TraceEventKind = "migrate" // a thread arriving from another rank (instant)
+	TraceRun     = obs.KindRun     // a task occupying a worker
+	TraceSteal   = obs.KindSteal   // a successful steal (duration = latency)
+	TraceSuspend = obs.KindSuspend // a join suspension (instant)
+	TraceResume  = obs.KindResume  // an outstanding join resuming (duration = wait since ready)
+	TraceMigrate = obs.KindMigrate // a thread arriving from another rank
 )
 
-// TraceEvent is one recorded event. Dur is zero for instant events.
-type TraceEvent struct {
-	T    sim.Time       `json:"t"`
-	Dur  sim.Time       `json:"dur"`
-	Rank int            `json:"rank"`
-	Kind TraceEventKind `json:"kind"`
-	// Task identifies the thread/task involved (-1 when not applicable).
-	Task int64 `json:"task"`
-	// Peer is the other rank involved (steal victim, migration source;
-	// -1 when not applicable).
-	Peer int `json:"peer"`
+// TraceEvent is one recorded event (alias of obs.Event). Dur is zero for
+// instant events.
+type TraceEvent = obs.Event
+
+// TraceCheck carries the counter-derived totals that specific trace span
+// families must reproduce exactly: Σ compute == BusyTime, Σ steal ==
+// StealLatency, Σ steal.fail == StealSearchTime, Σ resume ==
+// OutstandingTime, Σ rdma.* == FabricTime. Embedded in the trace so a
+// trace file is self-contained for `repro analyze`.
+type TraceCheck struct {
+	BusyTime        sim.Time `json:"busy_time"`
+	StealLatency    sim.Time `json:"steal_latency"`
+	StealSearchTime sim.Time `json:"steal_search_time"`
+	OutstandingTime sim.Time `json:"outstanding_time"`
+	FabricTime      sim.Time `json:"fabric_time"`
+	StealsOK        uint64   `json:"steals_ok"`
+	StealsFail      uint64   `json:"steals_fail"`
+	Resumed         uint64   `json:"resumed"`
 }
 
 // Trace is the recorded event log of a run.
 type Trace struct {
-	Workers int          `json:"workers"`
-	Events  []TraceEvent `json:"events"`
+	Workers      int          `json:"workers"`
+	CoresPerNode int          `json:"cores_per_node"`
+	ExecTime     sim.Time     `json:"exec_time"`
+	Check        TraceCheck   `json:"check"`
+	Events       []TraceEvent `json:"events"`
+}
+
+// runFrame is one open run span (nested under ChildRtC inline execution).
+type runFrame struct {
+	task  int64
+	since sim.Time
 }
 
 // traceState is the runtime-side recording state.
 type traceState struct {
-	events    []TraceEvent
-	busySince []sim.Time // per-rank start of the current run span
-	busyTask  []int64
+	tr    obs.Tracer
+	rec   *obs.Recorder // non-nil when tr is the built-in recorder
+	stack [][]runFrame  // per-rank open run spans
 }
 
-func newTraceState(workers int) *traceState {
-	ts := &traceState{
-		busySince: make([]sim.Time, workers),
-		busyTask:  make([]int64, workers),
+func newTraceState(workers int, tr obs.Tracer, rec *obs.Recorder) *traceState {
+	return &traceState{tr: tr, rec: rec, stack: make([][]runFrame, workers)}
+}
+
+// currentTask returns the task occupying rank's innermost open run span.
+func (ts *traceState) currentTask(rank int) int64 {
+	if s := ts.stack[rank]; len(s) > 0 {
+		return s[len(s)-1].task
 	}
-	for i := range ts.busyTask {
-		ts.busyTask[i] = -1
-	}
-	return ts
+	return -1
 }
 
 func (rt *Runtime) traceRunStart(rank int, task int64) {
@@ -68,20 +96,21 @@ func (rt *Runtime) traceRunStart(rank int, task int64) {
 	if ts == nil {
 		return
 	}
-	ts.busySince[rank] = rt.eng.Now()
-	ts.busyTask[rank] = task
+	ts.stack[rank] = append(ts.stack[rank], runFrame{task: task, since: rt.eng.Now()})
 }
 
 func (rt *Runtime) traceRunEnd(rank int) {
 	ts := rt.tr
-	if ts == nil || ts.busyTask[rank] < 0 {
+	if ts == nil || len(ts.stack[rank]) == 0 {
 		return
 	}
-	ts.events = append(ts.events, TraceEvent{
-		T: ts.busySince[rank], Dur: rt.eng.Now() - ts.busySince[rank],
-		Rank: rank, Kind: TraceRun, Task: ts.busyTask[rank], Peer: -1,
+	s := ts.stack[rank]
+	f := s[len(s)-1]
+	ts.stack[rank] = s[:len(s)-1]
+	ts.tr.Event(obs.Event{
+		T: f.since, Dur: rt.eng.Now() - f.since,
+		Rank: rank, Kind: TraceRun, Task: f.task, Peer: -1,
 	})
-	ts.busyTask[rank] = -1
 }
 
 func (rt *Runtime) traceEvent(kind TraceEventKind, rank int, task int64, peer int, start sim.Time) {
@@ -89,17 +118,51 @@ func (rt *Runtime) traceEvent(kind TraceEventKind, rank int, task int64, peer in
 	if ts == nil {
 		return
 	}
-	ts.events = append(ts.events, TraceEvent{
+	ts.tr.Event(obs.Event{
 		T: start, Dur: rt.eng.Now() - start, Rank: rank, Kind: kind, Task: task, Peer: peer,
 	})
 }
 
-// TraceLog returns the recorded trace (nil unless Config.Trace was set).
+// traceSteal records a successful steal span: same window as the
+// StealLatency increment at its call sites, plus the stolen payload size.
+func (rt *Runtime) traceSteal(rank int, task int64, peer int, start sim.Time, size int64) {
+	ts := rt.tr
+	if ts == nil {
+		return
+	}
+	ts.tr.Event(obs.Event{
+		T: start, Dur: rt.eng.Now() - start, Rank: rank, Kind: TraceSteal,
+		Task: task, Peer: peer, Size: size,
+	})
+}
+
+// TraceLog returns the recorded trace, nil unless Config.Trace was set
+// (with a custom Config.Tracer the events went to that sink instead). After
+// Run it carries ExecTime and the counter-derived Check block, making the
+// serialized form self-contained for `repro analyze`.
 func (rt *Runtime) TraceLog() *Trace {
-	if rt.tr == nil {
+	if rt.tr == nil || rt.tr.rec == nil {
 		return nil
 	}
-	return &Trace{Workers: rt.cfg.Workers, Events: rt.tr.events}
+	t := &Trace{
+		Workers:      rt.cfg.Workers,
+		CoresPerNode: rt.cfg.Machine.CoresPerNode,
+		Events:       rt.tr.rec.Events,
+	}
+	if rs := rt.lastStats; rs != nil {
+		t.ExecTime = rs.ExecTime
+		t.Check = TraceCheck{
+			BusyTime:        rs.Work.BusyTime,
+			StealLatency:    rs.Work.StealLatency,
+			StealSearchTime: rs.Work.StealSearchTime,
+			OutstandingTime: rs.Join.OutstandingTime,
+			FabricTime:      rs.Fabric.RemoteTime,
+			StealsOK:        rs.Work.StealsOK,
+			StealsFail:      rs.Work.StealsFail,
+			Resumed:         rs.Join.Resumed,
+		}
+	}
+	return t
 }
 
 // WriteJSON writes the raw trace as JSON.
@@ -108,36 +171,126 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
+// ReadTraceJSON parses a trace previously written by WriteJSON.
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
 // chromeEvent is one entry of the Chrome trace format ("traceEvents").
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
 	Ts   float64        `json:"ts"` // microseconds
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace writes the trace in Chrome trace format: one timeline
-// row per worker, complete ("X") spans for task execution and steals,
-// instant ("i") events for suspend/resume/migrate. Open the file in
-// chrome://tracing or https://ui.perfetto.dev.
+// Per-rank timeline rows of the Chrome export. Each rank gets three rows so
+// overlapping span families nest cleanly: scheduler spans (runs, steals),
+// protocol spans (deque/remobj/uniaddr/msg — victim-side deque phases can
+// straddle the victim's own run spans), and raw rdma op spans (which
+// duplicate the protocol windows they make up).
+const (
+	trackSched = 0
+	trackProto = 1
+	trackRDMA  = 2
+	numTracks  = 3
+)
+
+func trackOf(k obs.Kind) int {
+	switch k.Layer() {
+	case "rdma":
+		return trackRDMA
+	case "sched":
+		return trackSched
+	default:
+		return trackProto
+	}
+}
+
+// WriteChromeTrace writes the trace in Chrome trace format: ranks are
+// grouped into node processes (pid = rank / CoresPerNode), each rank owning
+// three named timeline rows (scheduler / protocol / rdma). Events are
+// emitted in a stable order (sorted by time, then rank), prefixed by
+// process_name / thread_name metadata so Perfetto renders labelled,
+// identical timelines across runs. Successful steals get flow arrows from
+// the thief's protocol span to the victim-side payload read. Open the file
+// in https://ui.perfetto.dev or chrome://tracing.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	cpn := t.CoresPerNode
+	if cpn < 1 {
+		cpn = 1
+	}
 	out := struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{}
-	for _, e := range t.Events {
+	// Metadata first: node process names, per-rank thread names and sort
+	// order. Emitted for every rank so empty rows are still labelled.
+	nodes := (t.Workers + cpn - 1) / cpn
+	for node := 0; node < nodes; node++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: node,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", node)},
+		})
+	}
+	trackName := [numTracks]string{"rank %d", "rank %d protocol", "rank %d rdma"}
+	for rank := 0; rank < t.Workers; rank++ {
+		for track := 0; track < numTracks; track++ {
+			tid := rank*numTracks + track
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: rank / cpn, Tid: tid,
+					Args: map[string]any{"name": fmt.Sprintf(trackName[track], rank)},
+				},
+				chromeEvent{
+					Name: "thread_sort_index", Ph: "M", Pid: rank / cpn, Tid: tid,
+					Args: map[string]any{"sort_index": tid},
+				})
+		}
+	}
+	// Stable event order: by virtual time, then rank; ties keep emission
+	// (engine-dispatch) order, which is itself deterministic.
+	evs := make([]TraceEvent, len(t.Events))
+	copy(evs, t.Events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].T != evs[j].T {
+			return evs[i].T < evs[j].T
+		}
+		return evs[i].Rank < evs[j].Rank
+	})
+	// Flow arrows: thief-side deque.steal span start -> victim-side payload
+	// read, matched by correlation id.
+	type flowEnd struct {
+		ts       float64
+		pid, tid int
+	}
+	flowSrc := make(map[int64]flowEnd)
+	flowDst := make(map[int64]flowEnd)
+	for _, e := range evs {
+		pid := e.Rank / cpn
+		tid := e.Rank*numTracks + trackOf(e.Kind)
 		ce := chromeEvent{
 			Ts:  e.T.Micros(),
-			Pid: 0,
-			Tid: e.Rank,
+			Pid: pid,
+			Tid: tid,
 			Args: map[string]any{
 				"task": e.Task,
 			},
 		}
 		if e.Peer >= 0 {
 			ce.Args["peer"] = e.Peer
+		}
+		if e.Size > 0 {
+			ce.Args["size"] = e.Size
 		}
 		switch e.Kind {
 		case TraceRun:
@@ -148,25 +301,154 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			ce.Name = fmt.Sprintf("steal from %d", e.Peer)
 			ce.Ph = "X"
 			ce.Dur = e.Dur.Micros()
-		default:
+		case TraceSuspend:
 			ce.Name = string(e.Kind)
 			ce.Ph = "i"
 			ce.Args["s"] = "t"
+		case TraceResume:
+			// The span [readyAt, resume) is the outstanding-join wait; the
+			// rank was doing other work meanwhile, so render the resume
+			// instant and keep the wait as an argument.
+			ce.Name = string(e.Kind)
+			ce.Ph = "i"
+			ce.Ts = (e.T + e.Dur).Micros()
+			ce.Args["s"] = "t"
+			ce.Args["oj_wait_us"] = e.Dur.Micros()
+		default:
+			ce.Name = string(e.Kind)
+			if e.Dur > 0 {
+				ce.Ph = "X"
+				ce.Dur = e.Dur.Micros()
+			} else {
+				ce.Ph = "i"
+				ce.Args["s"] = "t"
+			}
+		}
+		if e.ID != 0 {
+			switch e.Kind {
+			case obs.KindDequeSteal:
+				flowSrc[e.ID] = flowEnd{ts: e.T.Micros(), pid: pid, tid: tid}
+			case obs.KindDequeRead:
+				flowDst[e.ID] = flowEnd{ts: e.T.Micros(), pid: pid, tid: tid}
+			}
+			ce.Args["chain"] = e.ID
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	// Emit flow pairs in id order for stable output.
+	ids := make([]int64, 0, len(flowSrc))
+	for id := range flowSrc {
+		if _, ok := flowDst[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s, f := flowSrc[id], flowDst[id]
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "steal", Ph: "s", Cat: "steal", ID: id, Ts: s.ts, Pid: s.pid, Tid: s.tid},
+			chromeEvent{Name: "steal", Ph: "f", Cat: "steal", ID: id, BP: "e", Ts: f.ts, Pid: f.pid, Tid: f.tid})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
 
-// BusyTimePerRank integrates run-span durations per rank — a convenient
-// cross-check of the Fig. 7 busy gauge.
+// BusyTimePerRank integrates compute-span durations per rank. Compute spans
+// are recorded at the exact site that accumulates WorkerStats.BusyTime, so
+// the sum over ranks equals RunStats.Work.BusyTime to the tick.
 func (t *Trace) BusyTimePerRank() []sim.Time {
 	busy := make([]sim.Time, t.Workers)
 	for _, e := range t.Events {
-		if e.Kind == TraceRun {
+		if e.Kind == obs.KindCompute {
 			busy[e.Rank] += e.Dur
 		}
 	}
 	return busy
+}
+
+// RankAttribution is the DelaySpotter-style decomposition of one rank's
+// virtual time, derived from the event log alone.
+type RankAttribution struct {
+	Rank        int
+	Busy        sim.Time // Σ compute spans (== WorkerStats.BusyTime per rank)
+	StealSearch sim.Time // Σ steal.fail spans: searching for work, finding none
+	StealXfer   sim.Time // Σ steal spans: successful protocol + payload transfer
+	OJWait      sim.Time // Σ resume spans: outstanding joins waiting, attributed to the resuming rank
+	FabricWait  sim.Time // Σ rdma.* spans issued by this rank (overlaps the protocol buckets above)
+	Steals      uint64
+	Fails       uint64
+	Resumes     uint64
+}
+
+// Attribution decomposes each worker's time into the analyze buckets.
+// Busy/StealSearch/StealXfer/OJWait are disjoint scheduler windows;
+// FabricWait is the raw fabric-occupancy view of the same time and overlaps
+// them. Totals are cross-checkable against Check (see Verify).
+func (t *Trace) Attribution() []RankAttribution {
+	out := make([]RankAttribution, t.Workers)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for _, e := range t.Events {
+		if e.Rank < 0 || e.Rank >= t.Workers {
+			continue
+		}
+		a := &out[e.Rank]
+		switch {
+		case e.Kind == obs.KindCompute:
+			a.Busy += e.Dur
+		case e.Kind == obs.KindStealFail:
+			a.StealSearch += e.Dur
+			a.Fails++
+		case e.Kind == obs.KindSteal:
+			a.StealXfer += e.Dur
+			a.Steals++
+		case e.Kind == obs.KindResume:
+			a.OJWait += e.Dur
+			a.Resumes++
+		case e.Kind.Layer() == "rdma":
+			a.FabricWait += e.Dur
+		}
+	}
+	return out
+}
+
+// Verify sums the attribution over ranks and compares every total against
+// the embedded counter-derived Check block. The trace and the stats must
+// agree exactly — any nonzero difference indicates an instrumentation or
+// scheduler accounting bug. Returns nil when all totals match.
+func (t *Trace) Verify() error {
+	var busy, search, xfer, oj, fab sim.Time
+	var steals, fails, resumes uint64
+	for _, a := range t.Attribution() {
+		busy += a.Busy
+		search += a.StealSearch
+		xfer += a.StealXfer
+		oj += a.OJWait
+		fab += a.FabricWait
+		steals += a.Steals
+		fails += a.Fails
+		resumes += a.Resumes
+	}
+	ck := t.Check
+	checks := []struct {
+		name         string
+		trace, stats int64
+	}{
+		{"busy_time", int64(busy), int64(ck.BusyTime)},
+		{"steal_latency", int64(xfer), int64(ck.StealLatency)},
+		{"steal_search_time", int64(search), int64(ck.StealSearchTime)},
+		{"outstanding_time", int64(oj), int64(ck.OutstandingTime)},
+		{"fabric_time", int64(fab), int64(ck.FabricTime)},
+		{"steals_ok", int64(steals), int64(ck.StealsOK)},
+		{"steals_fail", int64(fails), int64(ck.StealsFail)},
+		{"resumed", int64(resumes), int64(ck.Resumed)},
+	}
+	for _, c := range checks {
+		if c.trace != c.stats {
+			return fmt.Errorf("trace/stats mismatch on %s: trace=%d stats=%d (Δ%d)",
+				c.name, c.trace, c.stats, c.trace-c.stats)
+		}
+	}
+	return nil
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"contsteal/internal/obs"
+	"contsteal/internal/sim"
 )
 
 func TestTraceRecordsSpans(t *testing.T) {
@@ -64,19 +67,87 @@ func TestTraceSpansDoNotOverlapPerRank(t *testing.T) {
 }
 
 func TestTraceBusyTimeMatchesStats(t *testing.T) {
-	// The integral of run spans must cover at least the computed busy time
-	// (spans also include runtime work inside tasks).
+	// Compute spans are recorded at the exact site that accumulates
+	// WorkerStats.BusyTime, so the per-rank integrals must reproduce the
+	// stats total to the tick.
+	for _, pol := range allPolicies {
+		cfg := testConfig(pol, 3)
+		cfg.Trace = true
+		rt := New(cfg)
+		_, st := rt.Run(fibTask(11))
+		tr := rt.TraceLog()
+		var total sim.Time
+		for _, b := range tr.BusyTimePerRank() {
+			total += b
+		}
+		if total != st.Work.BusyTime {
+			t.Errorf("%v: trace busy %d != stats busy %d", pol, total, int64(st.Work.BusyTime))
+		}
+	}
+}
+
+func TestTraceVerifyAllPolicies(t *testing.T) {
+	// The full cross-check: every counter-mirroring span family must sum to
+	// its RunStats counterpart exactly, for every scheduling policy.
+	for _, pol := range allPolicies {
+		cfg := testConfig(pol, 4)
+		cfg.Trace = true
+		rt := New(cfg)
+		_, _ = rt.Run(fibTask(12))
+		if err := rt.TraceLog().Verify(); err != nil {
+			t.Errorf("%v: %v", pol, err)
+		}
+	}
+}
+
+func TestTraceCustomTracerSink(t *testing.T) {
+	// A custom Config.Tracer receives the event stream; TraceLog is nil.
+	rec := obs.NewRecorder()
 	cfg := testConfig(ContGreedy, 2)
-	cfg.Trace = true
+	cfg.Tracer = rec
+	rt := New(cfg)
+	_, _ = rt.Run(fibTask(10))
+	if rt.TraceLog() != nil {
+		t.Error("TraceLog should be nil with a custom sink")
+	}
+	if len(rec.Events) == 0 {
+		t.Error("custom tracer received no events")
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	cfg := testConfig(ContGreedy, 4)
+	cfg.Metrics = true
 	rt := New(cfg)
 	_, st := rt.Run(fibTask(12))
-	tr := rt.TraceLog()
-	var total int64
-	for _, b := range tr.BusyTimePerRank() {
-		total += int64(b)
+	if st.Obs == nil {
+		t.Fatal("Config.Metrics set but RunStats.Obs is nil")
 	}
-	if total < int64(st.Work.BusyTime) {
-		t.Errorf("trace busy %d < stats busy %d", total, int64(st.Work.BusyTime))
+	sl, ok := st.Obs.Lookup("steal.latency")
+	if !ok {
+		t.Fatal("steal.latency histogram missing")
+	}
+	if sl.N != st.Work.StealsOK {
+		t.Errorf("steal.latency N=%d, stats StealsOK=%d", sl.N, st.Work.StealsOK)
+	}
+	if sl.Sum != st.Work.StealLatency {
+		t.Errorf("steal.latency Sum=%d, stats StealLatency=%d", int64(sl.Sum), int64(st.Work.StealLatency))
+	}
+	oj, ok := st.Obs.Lookup("oj.wait")
+	if !ok {
+		t.Fatal("oj.wait histogram missing")
+	}
+	if oj.N != st.Join.Resumed || oj.Sum != st.Join.OutstandingTime {
+		t.Errorf("oj.wait N=%d Sum=%d, stats Resumed=%d OutstandingTime=%d",
+			oj.N, int64(oj.Sum), st.Join.Resumed, int64(st.Join.OutstandingTime))
+	}
+}
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	rt := New(testConfig(ContGreedy, 2))
+	_, st := rt.Run(fibTask(8))
+	if st.Obs != nil {
+		t.Error("RunStats.Obs non-nil without Config.Metrics")
 	}
 }
 
@@ -145,6 +216,23 @@ func TestTraceJSONAndChromeExport(t *testing.T) {
 	}
 	if len(parsed.TraceEvents) == 0 {
 		t.Error("chrome trace empty")
+	}
+	// Every rank must get labelled rows: a process_name for its node and a
+	// thread_name per track (the fix for the previously unlabeled timelines).
+	names := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e["ph"] == "M" {
+			if args, ok := e["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+		}
+	}
+	for _, want := range []string{"node 0", "rank 0", "rank 1", "rank 0 protocol", "rank 1 rdma"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing %q metadata", want)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ package deque
 import (
 	"fmt"
 
+	"contsteal/internal/obs"
 	"contsteal/internal/rdma"
 	"contsteal/internal/sim"
 	"contsteal/internal/topo"
@@ -63,6 +64,12 @@ type Deque struct {
 	objs []any     // parallel Go-side payloads, indexed by slot
 
 	St Stats
+
+	// Tr, when non-nil, receives the steal protocol's phase spans: one
+	// victim-side span per chain link (hdr get, lock CAS, recheck, entry
+	// read, top advance, unlock) plus one thief-side span covering the whole
+	// protocol on success, all sharing a correlation ID. Nil by default.
+	Tr obs.Tracer
 }
 
 // New creates a deque with the given capacity (entries) and entry size
@@ -233,8 +240,30 @@ func (d *Deque) Steal(p *sim.Proc, thiefRank int) ([]byte, any, bool) {
 		obj   any
 		ok    bool
 	)
+	// Tracing: each chain link becomes a victim-side phase span; `phase`
+	// stays nil (one captured word, no emission) when tracing is off. All
+	// spans of this protocol instance share the correlation id sid.
+	tr := d.Tr
+	var (
+		sid   int64
+		t0    sim.Time
+		phase func(k obs.Kind)
+	)
+	if tr != nil {
+		sid = tr.Seq()
+		t0 = fab.Eng.Now()
+		ph := t0
+		phase = func(k obs.Kind) {
+			now := fab.Eng.Now()
+			tr.Event(obs.Event{T: ph, Dur: now - ph, Rank: d.rank, Kind: k, Task: -1, Peer: thiefRank, ID: sid})
+			ph = now
+		}
+	}
 	// Fast empty check: one 16-byte get of (top, bottom).
 	fab.GetAsync(c, thiefRank, hdrLoc, hdr[:], func() {
+		if phase != nil {
+			phase(obs.KindDequeHdr)
+		}
 		t := int64(le(hdr[0:8]))
 		b := int64(le(hdr[8:16]))
 		if t >= b {
@@ -244,6 +273,9 @@ func (d *Deque) Steal(p *sim.Proc, thiefRank int) ([]byte, any, bool) {
 		}
 		// Lock.
 		fab.CASAsync(c, thiefRank, lockLoc, 0, 1, func(observed int64) {
+			if phase != nil {
+				phase(obs.KindDequeCAS)
+			}
 			if observed != 0 {
 				d.St.StealsContended++
 				c.Complete()
@@ -251,10 +283,16 @@ func (d *Deque) Steal(p *sim.Proc, thiefRank int) ([]byte, any, bool) {
 			}
 			// Recheck under the lock.
 			fab.GetAsync(c, thiefRank, hdrLoc, hdr[:], func() {
+				if phase != nil {
+					phase(obs.KindDequeRecheck)
+				}
 				t = int64(le(hdr[0:8]))
 				b = int64(le(hdr[8:16]))
 				if t >= b {
 					fab.PutInt64Async(c, thiefRank, lockLoc, 0, func() {
+						if phase != nil {
+							phase(obs.KindDequeUnlock)
+						}
 						d.St.StealsEmpty++
 						c.Complete()
 					})
@@ -263,15 +301,31 @@ func (d *Deque) Steal(p *sim.Proc, thiefRank int) ([]byte, any, bool) {
 				// Read the top descriptor.
 				entry = make([]byte, d.entrySize)
 				fab.GetAsync(c, thiefRank, d.loc(d.entryOff(t), d.entrySize), entry, func() {
+					if phase != nil {
+						phase(obs.KindDequeRead)
+					}
 					// Advance top, then unlock.
 					fab.PutInt64Async(c, thiefRank, d.loc(offTop, 8), t+1, func() {
+						if phase != nil {
+							phase(obs.KindDequeAdvance)
+						}
 						fab.PutInt64Async(c, thiefRank, lockLoc, 0, func() {
+							if phase != nil {
+								phase(obs.KindDequeUnlock)
+							}
 							// Simulator bookkeeping: hand over the payload.
 							i := d.slotIndex(t)
 							obj = d.objs[i]
 							d.objs[i] = nil
 							ok = true
 							d.St.StealsOK++
+							if tr != nil {
+								tr.Event(obs.Event{
+									T: t0, Dur: fab.Eng.Now() - t0, Rank: thiefRank,
+									Kind: obs.KindDequeSteal, Task: -1, Peer: d.rank,
+									Size: int64(d.entrySize), ID: sid,
+								})
+							}
 							c.Complete()
 						})
 					})

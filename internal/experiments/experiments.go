@@ -97,6 +97,13 @@ type Options struct {
 	// DequeCap overrides the per-worker deque capacity (memory control for
 	// very large worker counts). 0 keeps the runtime default.
 	DequeCap int
+	// Obs, when non-nil, collects a trace and/or metrics registry from the
+	// first simulated run of the invocation (first grid point of a sweep).
+	Obs *ObsCollector
+
+	// obsClaimed marks an Options copy whose job claimed Obs at
+	// grid-construction time (see utsJob).
+	obsClaimed bool
 }
 
 func (o *Options) defaults(workers int) {
@@ -155,8 +162,10 @@ func Fig6(o Options, bench string, ns []int) []Fig6Row {
 	var jobs []Job
 	for _, n := range ns {
 		for _, v := range Variants() {
+			coord := Coord{Experiment: "fig6", Bench: bench, Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed}
+			mine := o.Obs.claim()
 			jobs = append(jobs, Job{
-				Coord: Coord{Experiment: "fig6", Bench: bench, Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+				Coord: coord,
 				Run: func() any {
 					p := workload.DefaultPForParams(n)
 					var task core.TaskFunc
@@ -167,8 +176,15 @@ func Fig6(o Options, bench string, ns []int) []Fig6Row {
 						task, t1 = workload.RecPFor(p), p.T1RecPFor()
 					}
 					t1 = MachineByName(o.Machine).Compute(t1)
-					rt := core.New(runCfg(o, v))
+					cfg := runCfg(o, v)
+					if mine {
+						o.Obs.apply(&cfg)
+					}
+					rt := core.New(cfg)
 					_, st := rt.Run(task)
+					if mine {
+						o.Obs.deliver(coord, rt, st)
+					}
 					return Fig6Row{
 						Bench:      bench,
 						Machine:    o.Machine,
@@ -224,16 +240,25 @@ func Table2(o Options, bench string, n int) []Table2Row {
 	}
 	var jobs []Job
 	for _, v := range variants {
+		coord := Coord{Experiment: "table2", Bench: bench, Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed}
+		mine := o.Obs.claim()
 		jobs = append(jobs, Job{
-			Coord: Coord{Experiment: "table2", Bench: bench, Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+			Coord: coord,
 			Run: func() any {
 				p := workload.DefaultPForParams(n)
 				task := workload.PFor(p)
 				if bench == "recpfor" {
 					task = workload.RecPFor(p)
 				}
-				rt := core.New(runCfg(o, v))
+				cfg := runCfg(o, v)
+				if mine {
+					o.Obs.apply(&cfg)
+				}
+				rt := core.New(cfg)
 				_, st := rt.Run(task)
+				if mine {
+					o.Obs.deliver(coord, rt, st)
+				}
 				return Table2Row{
 					Machine:            o.Machine,
 					Bench:              bench,
@@ -277,14 +302,22 @@ func Fig7(o Options, n int) Fig7Result {
 		{"greedy", core.ContGreedy, remobj.LocalCollection},
 		{"child-full", core.ChildFull, remobj.LocalCollection},
 	} {
+		coord := Coord{Experiment: "fig7", Bench: "recpfor", Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed}
+		mine := o.Obs.claim()
 		jobs = append(jobs, Job{
-			Coord: Coord{Experiment: "fig7", Bench: "recpfor", Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+			Coord: coord,
 			Run: func() any {
 				p := workload.DefaultPForParams(n)
 				cfg := runCfg(o, v)
 				cfg.Sample = 2 * sim.Millisecond
+				if mine {
+					o.Obs.apply(&cfg)
+				}
 				rt := core.New(cfg)
 				_, st := rt.Run(workload.RecPFor(p))
+				if mine {
+					o.Obs.deliver(coord, rt, st)
+				}
 				return st.Series
 			},
 		})
@@ -379,9 +412,15 @@ func UTSOnce(o Options, system, tree string, workers, seqDepth int) Fig8Row {
 	var nodes int64
 	switch system {
 	case "ours":
+		// Claimed either at grid-construction time (pooled sweeps, see
+		// utsJob) or right here for direct single runs.
+		mine := o.obsClaimed || o.Obs.claim()
 		cfg := runCfg(o, Variant{"greedy", core.ContGreedy, remobj.LocalCollection})
 		cfg.Workers = workers
 		cfg.DequeCap = o.DequeCap
+		if mine {
+			o.Obs.apply(&cfg)
+		}
 		rt := core.New(cfg)
 		start := time.Now()
 		ret, st := rt.Run(workload.UTS(t, seqDepth))
@@ -389,6 +428,10 @@ func UTSOnce(o Options, system, tree string, workers, seqDepth int) Fig8Row {
 		// tree serially here would redo millions of SHA-1s per grid point.
 		nodes = core.RetInt64(ret)
 		row.ExecTime = st.ExecTime
+		if mine {
+			o.Obs.deliver(Coord{Experiment: "uts", System: system, Tree: t.Name,
+				Workers: workers, Seed: o.Seed}, rt, st)
+		}
 		reportEngine(Coord{Experiment: "uts", System: system, Tree: t.Name,
 			Workers: workers, Seed: o.Seed}, st.Engine, time.Since(start))
 	default:
@@ -415,10 +458,15 @@ func UTSOnce(o Options, system, tree string, workers, seqDepth int) Fig8Row {
 	return row
 }
 
-// utsJob wraps one UTSOnce configuration as a sweep job.
+// utsJob wraps one UTSOnce configuration as a sweep job. The collector is
+// claimed here, at grid-construction time, by the first "ours" job — only
+// our runtime produces traces, so baseline grid points do not compete.
 func utsJob(o Options, experiment, system, tree string, workers, seqDepth int) Job {
 	if o.Seed == 0 {
 		o.Seed = 42 // mirror defaults() so the coordinates name the real seed
+	}
+	if system == "ours" && o.Obs.claim() {
+		o.obsClaimed = true
 	}
 	return Job{
 		Coord: Coord{Experiment: experiment, Tree: tree, System: system, Workers: workers, Seed: o.Seed},
@@ -480,14 +528,22 @@ func Table3(o Options, ns []int) []Table3Row {
 			{"cont-stalling", core.ContStalling, remobj.LocalCollection},
 			{"child-full", core.ChildFull, remobj.LocalCollection},
 		} {
+			coord := Coord{Experiment: "table3", Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed}
+			mine := o.Obs.claim()
 			jobs = append(jobs, Job{
-				Coord: Coord{Experiment: "table3", Variant: v.Name, N: n, Workers: o.Workers, Seed: o.Seed},
+				Coord: coord,
 				Run: func() any {
 					p := workload.DefaultLCSParams(n)
 					cfg := runCfg(o, v)
 					cfg.RetvalBytes = p.RetvalBytes()
+					if mine {
+						o.Obs.apply(&cfg)
+					}
 					rt := core.New(cfg)
 					_, st := rt.Run(workload.LCS(p))
+					if mine {
+						o.Obs.deliver(coord, rt, st)
+					}
 					return Table3Row{N: n, Variant: v.Name, ExecTime: st.ExecTime}
 				},
 			})
@@ -520,8 +576,10 @@ func Fig12(o Options, ns []int, workerCounts []int) []Fig12Row {
 	var jobs []Job
 	for _, n := range ns {
 		for _, w := range workerCounts {
+			coord := Coord{Experiment: "fig12", Variant: "greedy", N: n, Workers: w, Seed: o.Seed}
+			mine := o.Obs.claim()
 			jobs = append(jobs, Job{
-				Coord: Coord{Experiment: "fig12", Variant: "greedy", N: n, Workers: w, Seed: o.Seed},
+				Coord: coord,
 				Run: func() any {
 					mach := MachineByName(o.Machine)
 					p := workload.DefaultLCSParams(n)
@@ -531,8 +589,14 @@ func Fig12(o Options, ns []int, workerCounts []int) []Fig12Row {
 					cfg := runCfg(o, v)
 					cfg.Workers = w
 					cfg.RetvalBytes = p.RetvalBytes()
+					if mine {
+						o.Obs.apply(&cfg)
+					}
 					rt := core.New(cfg)
 					_, st := rt.Run(workload.LCS(p))
+					if mine {
+						o.Obs.deliver(coord, rt, st)
+					}
 					lower := t1 / sim.Time(w)
 					if tinf > lower {
 						lower = tinf

@@ -11,6 +11,7 @@
 package msg
 
 import (
+	"contsteal/internal/obs"
 	"contsteal/internal/sim"
 	"contsteal/internal/topo"
 )
@@ -43,6 +44,12 @@ type Net struct {
 	Mach  *topo.Machine
 	boxes [][]Msg
 	st    []Stats
+
+	// Tr, when non-nil, receives a span per sent message (wire latency, on
+	// the sender's row) and per successful poll (software overhead, on the
+	// receiver's row). Empty-mailbox polls are not traced — a busy-polling
+	// worker would flood the log with misses. Nil by default.
+	Tr obs.Tracer
 }
 
 // New creates a network with nranks mailboxes.
@@ -64,6 +71,12 @@ func (n *Net) Send(p *sim.Proc, from, to int, m Msg) {
 	n.st[from].Sent++
 	n.st[from].BytesSent += uint64(size)
 	delay := n.Mach.OneSided(from, to, size, false)
+	if n.Tr != nil {
+		n.Tr.Event(obs.Event{
+			T: p.Now(), Dur: delay, Rank: from, Kind: obs.KindMsgSend,
+			Task: -1, Peer: to, Size: int64(size),
+		})
+	}
 	n.Eng.After(delay, func() {
 		n.boxes[to] = append(n.boxes[to], m)
 	})
@@ -83,6 +96,12 @@ func (n *Net) PollAsync(c *sim.Chain, rank int, then func(m Msg, ok bool)) {
 	m := n.boxes[rank][0]
 	n.boxes[rank] = n.boxes[rank][1:]
 	n.st[rank].Received++
+	if n.Tr != nil {
+		n.Tr.Event(obs.Event{
+			T: n.Eng.Now(), Dur: SoftwareOverhead, Rank: rank, Kind: obs.KindMsgPoll,
+			Task: -1, Peer: m.From, Size: int64(len(m.Data)),
+		})
+	}
 	c.Then(SoftwareOverhead, func() { then(m, true) })
 }
 

@@ -1,0 +1,146 @@
+// Package obs is the observability layer of the simulator: a lightweight
+// tracing interface threaded through every protocol layer (scheduler, RDMA
+// fabric, deque steal protocol, remote-object management, messaging,
+// stack migration) and a deterministic metrics registry.
+//
+// Design constraints, in order of importance:
+//
+//  1. Instrumentation must not perturb virtual time. Tracers only observe:
+//     they are handed timestamps and durations the instrumented code already
+//     knows (issue time + modelled delay), and never sleep, issue events, or
+//     consume randomness. Golden fixtures are byte-identical with tracing on
+//     and off.
+//  2. Zero cost when disabled. Every instrumented component holds a nil
+//     Tracer by default and guards emission with a single nil check; Event is
+//     passed by value so emitting does not allocate on the caller's side.
+//  3. Determinism. The simulation engine is sequential, so a Recorder's
+//     append order is the engine's dispatch order — identical across host
+//     parallelism settings. Metrics are accumulated per worker and merged in
+//     rank order, making their serialized form byte-stable.
+package obs
+
+import "contsteal/internal/sim"
+
+// Kind classifies trace events. Scheduler-level kinds are bare words;
+// deeper layers use a dotted <layer>.<op> form so consumers can attribute a
+// span to its protocol by prefix.
+type Kind string
+
+// Scheduler-level kinds (emitted by internal/core).
+const (
+	KindRun       Kind = "run"        // a task occupying a worker (span)
+	KindCompute   Kind = "compute"    // a Compute call (span; Σ dur == BusyTime)
+	KindSteal     Kind = "steal"      // successful steal (span; Σ dur == StealLatency)
+	KindStealFail Kind = "steal.fail" // failed steal attempt (span; Σ dur == StealSearchTime)
+	KindSuspend   Kind = "suspend"    // a join suspension (instant)
+	KindResume    Kind = "resume"     // outstanding join resuming (span from readyAt; Σ dur == OutstandingTime)
+	KindMigrate   Kind = "migrate"    // a thread arriving from another rank (span)
+)
+
+// RDMA fabric kinds: one span per remote one-sided operation, recorded at
+// issue time with the modelled completion delay (Σ dur == OpStats.RemoteTime).
+const (
+	KindRDMAGet    Kind = "rdma.get"
+	KindRDMAPut    Kind = "rdma.put"
+	KindRDMAAtomic Kind = "rdma.atomic"
+)
+
+// Deque steal-protocol kinds. The thief-side deque.steal span covers the
+// whole protocol; the victim-side phase spans partition it (each phase is
+// one chain link: hdr get, lock CAS, recheck get, entry get, top put, lock
+// put). All spans of one protocol instance share an ID for flow linking.
+const (
+	KindDequeSteal   Kind = "deque.steal"
+	KindDequeHdr     Kind = "deque.hdr"
+	KindDequeCAS     Kind = "deque.cas"
+	KindDequeRecheck Kind = "deque.recheck"
+	KindDequeRead    Kind = "deque.read"
+	KindDequeAdvance Kind = "deque.advance"
+	KindDequeUnlock  Kind = "deque.unlock"
+)
+
+// Remote-object management kinds.
+const (
+	KindLockQAcquire Kind = "remobj.lq.acquire" // CAS retries until the remote lock is won
+	KindLockQFree    Kind = "remobj.lq.free"    // whole 4-round-trip lock-queue free chain
+	KindFreeBit      Kind = "remobj.freebit"    // nonblocking free-bit put (local collection)
+	KindSweep        Kind = "remobj.sweep"      // owner sweep (Size = objects reclaimed)
+	KindDrain        Kind = "remobj.drain"      // owner lock-queue drain (Size = objects reclaimed)
+)
+
+// Two-sided messaging kinds.
+const (
+	KindMsgSend Kind = "msg.send" // span = wire latency on the sender's row
+	KindMsgPoll Kind = "msg.poll" // successful poll (span = software overhead)
+)
+
+// Stack-management kinds (uni-address scheme).
+const (
+	KindMigrateIn Kind = "uniaddr.migratein" // remote stack transfer into this rank
+	KindEvacuate  Kind = "uniaddr.evacuate"  // local copy uni -> evacuation region
+	KindRestore   Kind = "uniaddr.restore"   // local copy evacuation -> uni region
+)
+
+// Layer returns the dotted prefix of a kind ("rdma", "deque", ...) or
+// "sched" for the scheduler-level kinds (including "steal.fail", whose dot
+// marks an outcome, not a layer).
+func (k Kind) Layer() string {
+	switch k {
+	case KindRun, KindCompute, KindSteal, KindStealFail, KindSuspend, KindResume, KindMigrate:
+		return "sched"
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] == '.' {
+			return string(k[:i])
+		}
+	}
+	return "sched"
+}
+
+// Event is one recorded span (Dur > 0) or instant (Dur == 0). T and Dur are
+// virtual time. Events are recorded at the instant the instrumented code
+// knows the span's full extent: synchronously-timed work records at its
+// start (T = now, Dur = known modelled delay), protocol chains record at
+// completion (T = issue time, Dur = now - issue).
+type Event struct {
+	T    sim.Time `json:"t"`
+	Dur  sim.Time `json:"dur"`
+	Rank int      `json:"rank"`
+	Kind Kind     `json:"kind"`
+	// Task identifies the thread/task involved (-1 when not applicable).
+	Task int64 `json:"task"`
+	// Peer is the other rank involved (steal victim, migration source, op
+	// target; -1 when not applicable).
+	Peer int `json:"peer"`
+	// Size is the payload size in bytes where meaningful (0 otherwise).
+	Size int64 `json:"size,omitempty"`
+	// ID correlates the spans of one multi-op protocol instance (e.g. a
+	// steal's thief-side span with its victim-side deque phases). 0 = none.
+	ID int64 `json:"id,omitempty"`
+}
+
+// Tracer receives instrumentation events. Implementations must not consume
+// virtual time or otherwise influence the simulation; they are called from
+// inside engine callbacks and must be cheap.
+type Tracer interface {
+	// Event records e. e is passed by value so emission does not allocate.
+	Event(e Event)
+	// Seq returns a fresh nonzero correlation id for Event.ID.
+	Seq() int64
+}
+
+// Recorder is the standard Tracer: an append-only in-memory event log. The
+// engine dispatches sequentially, so append order is deterministic.
+type Recorder struct {
+	Events []Event
+	seq    int64
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Event appends e to the log.
+func (r *Recorder) Event(e Event) { r.Events = append(r.Events, e) }
+
+// Seq returns a fresh correlation id (1, 2, 3, ...).
+func (r *Recorder) Seq() int64 { r.seq++; return r.seq }

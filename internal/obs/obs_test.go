@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"contsteal/internal/sim"
+)
+
+func TestRecorderOrderAndSeq(t *testing.T) {
+	r := NewRecorder()
+	if r.Seq() != 1 || r.Seq() != 2 {
+		t.Fatal("Seq must count from 1")
+	}
+	r.Event(Event{T: 5, Kind: KindSteal})
+	r.Event(Event{T: 3, Kind: KindRun})
+	if len(r.Events) != 2 || r.Events[0].T != 5 || r.Events[1].T != 3 {
+		t.Fatal("Recorder must preserve append order")
+	}
+}
+
+func TestKindLayer(t *testing.T) {
+	cases := map[Kind]string{
+		KindRun:          "sched",
+		KindStealFail:    "sched",
+		KindRDMAGet:      "rdma",
+		KindDequeCAS:     "deque",
+		KindLockQAcquire: "remobj",
+		KindMsgSend:      "msg",
+		KindMigrateIn:    "uniaddr",
+	}
+	for k, want := range cases {
+		if got := k.Layer(); got != want {
+			t.Errorf("Layer(%q) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestHistObserveAndMerge(t *testing.T) {
+	bounds := []sim.Time{10, 100, 1000}
+	a := NewHist("lat", bounds)
+	a.Observe(5)    // bucket 0
+	a.Observe(10)   // bucket 0 (le is inclusive)
+	a.Observe(11)   // bucket 1
+	a.Observe(9999) // overflow
+	if a.N != 4 || a.Sum != 5+10+11+9999 || a.Max != 9999 {
+		t.Fatalf("summary wrong: N=%d Sum=%d Max=%d", a.N, a.Sum, a.Max)
+	}
+	want := []uint64{2, 1, 0, 1}
+	for i, n := range a.Counts {
+		if n != want[i] {
+			t.Fatalf("Counts = %v, want %v", a.Counts, want)
+		}
+	}
+	b := NewHist("lat", bounds)
+	b.Observe(500)
+	a.Merge(b)
+	if a.N != 5 || a.Counts[2] != 1 {
+		t.Fatalf("merge wrong: N=%d Counts=%v", a.N, a.Counts)
+	}
+}
+
+func TestRegistryMergeDeterministic(t *testing.T) {
+	mk := func(stealFirst bool) *Registry {
+		r := NewRegistry()
+		if stealFirst {
+			r.Counter("steals").Add(2)
+			r.Counter("spawns").Add(7)
+		} else {
+			r.Counter("spawns").Add(7)
+			r.Counter("steals").Add(2)
+		}
+		r.Hist("lat", TimeBuckets()).Observe(3 * sim.Microsecond)
+		return r
+	}
+	// Per-worker registries register in the same code order, so merged
+	// output is identical; this simulates two ranks merged in rank order.
+	m1 := NewRegistry()
+	m1.Merge(mk(true))
+	m1.Merge(mk(true))
+	m2 := NewRegistry()
+	m2.Merge(mk(true))
+	m2.Merge(mk(true))
+	var b1, b2 bytes.Buffer
+	if err := m1.WriteTSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteTSV(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("merged TSV not byte-stable")
+	}
+	if m1.Counter("steals").N != 4 {
+		t.Fatalf("steals = %d, want 4", m1.Counter("steals").N)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"contsteal/internal/obs"
 	"contsteal/internal/sim"
 	"contsteal/internal/topo"
 )
@@ -78,6 +79,11 @@ type OpStats struct {
 	Gets, Puts, Atomics uint64 // remote operations issued
 	LocalOps            uint64 // same-rank fabric accesses
 	BytesOut, BytesIn   uint64 // payload bytes moved by remote ops
+	// RemoteTime is the summed modelled completion delay of every remote
+	// operation issued by this rank (including fire-and-forget PutNB). It
+	// equals the summed duration of the rank's rdma.* trace spans by
+	// construction — the fabric-wait column of `repro analyze`.
+	RemoteTime sim.Time
 }
 
 // Add accumulates other into s.
@@ -88,6 +94,7 @@ func (s *OpStats) Add(other OpStats) {
 	s.LocalOps += other.LocalOps
 	s.BytesOut += other.BytesOut
 	s.BytesIn += other.BytesIn
+	s.RemoteTime += other.RemoteTime
 }
 
 // Fabric is the simulated RDMA network connecting P ranks.
@@ -96,6 +103,24 @@ type Fabric struct {
 	Mach *topo.Machine
 	segs []*Segment
 	st   []OpStats
+
+	// Tr, when non-nil, receives one span per remote operation (kind, size,
+	// issuer and target rank, issue time, modelled delay). Local operations
+	// are not traced. Set before the run starts; nil costs one predictable
+	// branch per op.
+	Tr obs.Tracer
+}
+
+// remote charges a remote op's delay to the issuer's RemoteTime and traces
+// it. Called exactly once per remote operation, at issue time.
+func (f *Fabric) remote(from int, to int32, kind obs.Kind, size int, delay sim.Time) {
+	f.st[from].RemoteTime += delay
+	if f.Tr != nil {
+		f.Tr.Event(obs.Event{
+			T: f.Eng.Now(), Dur: delay, Rank: from, Kind: kind,
+			Task: -1, Peer: int(to), Size: int64(size),
+		})
+	}
 }
 
 // NewFabric creates a fabric with nranks ranks, each owning a segment that
@@ -174,7 +199,9 @@ func (f *Fabric) GetAsync(c *sim.Chain, from int, loc Loc, dst []byte, then func
 	}
 	f.st[from].Gets++
 	f.st[from].BytesIn += uint64(len(dst))
-	c.Then(f.Mach.OneSided(from, int(loc.Rank), len(dst), false), func() {
+	delay := f.Mach.OneSided(from, int(loc.Rank), len(dst), false)
+	f.remote(from, loc.Rank, obs.KindRDMAGet, len(dst), delay)
+	c.Then(delay, func() {
 		copy(dst, f.segs[loc.Rank].bytes(loc.Addr, len(dst)))
 		then()
 	})
@@ -196,7 +223,9 @@ func (f *Fabric) PutAsync(c *sim.Chain, from int, loc Loc, src []byte, then func
 	}
 	f.st[from].Puts++
 	f.st[from].BytesOut += uint64(len(src))
-	c.Then(f.Mach.OneSided(from, int(loc.Rank), len(src), false), func() {
+	delay := f.Mach.OneSided(from, int(loc.Rank), len(src), false)
+	f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), delay)
+	c.Then(delay, func() {
 		copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
 		then()
 	})
@@ -211,7 +240,9 @@ func (f *Fabric) GetInt64Async(c *sim.Chain, from int, loc Loc, then func(v int6
 	}
 	f.st[from].Gets++
 	f.st[from].BytesIn += 8
-	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, false), func() {
+	delay := f.Mach.OneSided(from, int(loc.Rank), 8, false)
+	f.remote(from, loc.Rank, obs.KindRDMAGet, 8, delay)
+	c.Then(delay, func() {
 		then(int64(binary.LittleEndian.Uint64(f.segs[loc.Rank].bytes(loc.Addr, 8))))
 	})
 }
@@ -226,7 +257,9 @@ func (f *Fabric) PutInt64Async(c *sim.Chain, from int, loc Loc, v int64, then fu
 	}
 	f.st[from].Puts++
 	f.st[from].BytesOut += 8
-	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, false), func() {
+	delay := f.Mach.OneSided(from, int(loc.Rank), 8, false)
+	f.remote(from, loc.Rank, obs.KindRDMAPut, 8, delay)
+	c.Then(delay, func() {
 		binary.LittleEndian.PutUint64(f.segs[loc.Rank].bytes(loc.Addr, 8), uint64(v))
 		then()
 	})
@@ -248,7 +281,9 @@ func (f *Fabric) FetchAddAsync(c *sim.Chain, from int, loc Loc, delta int64, the
 		return
 	}
 	f.st[from].Atomics++
-	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, true), func() { then(apply()) })
+	delay := f.Mach.OneSided(from, int(loc.Rank), 8, true)
+	f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, delay)
+	c.Then(delay, func() { then(apply()) })
 }
 
 // CASAsync atomically compares the word at loc with old and, if equal,
@@ -268,7 +303,9 @@ func (f *Fabric) CASAsync(c *sim.Chain, from int, loc Loc, old, new int64, then 
 		return
 	}
 	f.st[from].Atomics++
-	c.Then(f.Mach.OneSided(from, int(loc.Rank), 8, true), func() { then(apply()) })
+	delay := f.Mach.OneSided(from, int(loc.Rank), 8, true)
+	f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, delay)
+	c.Then(delay, func() { then(apply()) })
 }
 
 // Get copies the remote variable at loc into dst (len(dst) bytes, at most
@@ -310,6 +347,7 @@ func (f *Fabric) PutNB(p *sim.Proc, from int, loc Loc, src []byte) {
 	f.st[from].BytesOut += uint64(len(src))
 	data := append([]byte(nil), src...)
 	delay := f.Mach.OneSided(from, int(loc.Rank), len(src), false)
+	f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), delay)
 	f.Eng.After(delay, func() {
 		copy(f.segs[loc.Rank].bytes(loc.Addr, len(data)), data)
 	})

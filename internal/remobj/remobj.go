@@ -27,6 +27,7 @@ package remobj
 import (
 	"fmt"
 
+	"contsteal/internal/obs"
 	"contsteal/internal/rdma"
 	"contsteal/internal/sim"
 	"contsteal/internal/topo"
@@ -95,6 +96,11 @@ type Manager struct {
 	lqBase rdma.Addr
 
 	St Stats
+
+	// Tr, when non-nil, receives remote-free protocol spans issued *by*
+	// this rank (lock acquisition, whole free chain, free-bit puts) and
+	// owner-side reclamation spans (sweeps, drains). Nil by default.
+	Tr obs.Tracer
 }
 
 func newManager(fab *rdma.Fabric, rank int, strategy Strategy) *Manager {
@@ -186,21 +192,31 @@ func (m *Manager) sweep(p *sim.Proc) {
 	m.St.Sweeps++
 	seg := m.fab.Seg(m.rank)
 	visited := 0
+	swept := 0
 	for n := m.head; n != nil; {
 		next := n.next
 		visited++
 		if seg.ReadInt64(n.header) != 0 {
 			m.unlink(n)
 			m.St.Swept++
+			swept++
 		}
 		n = next
 	}
-	p.Sleep(sim.Time(visited) * m.mach.LocalOp)
+	cost := sim.Time(visited) * m.mach.LocalOp
+	if m.Tr != nil {
+		m.Tr.Event(obs.Event{
+			T: p.Now(), Dur: cost, Rank: m.rank, Kind: obs.KindSweep,
+			Task: -1, Peer: -1, Size: int64(swept),
+		})
+	}
+	p.Sleep(cost)
 }
 
 // drain empties this rank's lock-queue of incoming remote frees.
 // Owner-local: acquire own lock, read count, free each, reset, release.
 func (m *Manager) drain(p *sim.Proc) {
+	start := p.Now()
 	seg := m.fab.Seg(m.rank)
 	// Owner lock acquisition is a local atomic.
 	for m.fab.CAS(p, m.rank, m.lqLoc(0, 8), 0, 1) != 0 {
@@ -220,6 +236,12 @@ func (m *Manager) drain(p *sim.Proc) {
 	seg.WriteInt64(m.lqBase, 0)
 	m.St.Drains++
 	p.Sleep(2 * m.mach.LocalOp)
+	if m.Tr != nil {
+		m.Tr.Event(obs.Event{
+			T: start, Dur: p.Now() - start, Rank: m.rank, Kind: obs.KindDrain,
+			Task: -1, Peer: -1, Size: count,
+		})
+	}
 }
 
 // Space wires together the per-rank managers of one runtime instance.
@@ -234,6 +256,13 @@ func NewSpace(fab *rdma.Fabric, strategy Strategy) *Space {
 		s.Mgrs[r] = newManager(fab, r, strategy)
 	}
 	return s
+}
+
+// SetTracer points every rank's manager at tr.
+func (s *Space) SetTracer(tr obs.Tracer) {
+	for _, m := range s.Mgrs {
+		m.Tr = tr
+	}
 }
 
 // Alloc allocates a remote object owned by rank `from`.
@@ -252,10 +281,17 @@ func (s *Space) Free(p *sim.Proc, from int, loc rdma.Loc) {
 	}
 	me := s.Mgrs[from]
 	me.St.RemoteFrees++
+	tr := me.Tr
 	switch me.strategy {
 	case LocalCollection:
 		// One nonblocking put setting the free bit; the owner reclaims it
 		// during a later sweep.
+		if tr != nil {
+			tr.Event(obs.Event{
+				T: p.Now(), Dur: 0, Rank: from, Kind: obs.KindFreeBit,
+				Task: -1, Peer: int(loc.Rank),
+			})
+		}
 		var one [8]byte
 		one[0] = 1
 		me.fab.PutNB(p, from,
@@ -271,18 +307,44 @@ func (s *Space) Free(p *sim.Proc, from int, loc rdma.Loc) {
 		c := fab.Eng.NewChain(p)
 		var buf [rdma.LocSize]byte
 		rdma.EncodeLoc(buf[:], loc)
+		// Tracing: the acquire span runs from issue until the lock CAS wins;
+		// the free span covers the whole chain. Both share a correlation id.
+		var (
+			sid int64
+			t0  sim.Time
+		)
+		if tr != nil {
+			sid = tr.Seq()
+			t0 = fab.Eng.Now()
+		}
+		done := c.Complete
+		if tr != nil {
+			done = func() {
+				tr.Event(obs.Event{
+					T: t0, Dur: fab.Eng.Now() - t0, Rank: from, Kind: obs.KindLockQFree,
+					Task: -1, Peer: int(loc.Rank), ID: sid,
+				})
+				c.Complete()
+			}
+		}
 		var onLock func(observed int64)
 		onLock = func(observed int64) {
 			if observed != 0 {
 				fab.CASAsync(c, from, lock, 0, 1, onLock)
 				return
 			}
+			if tr != nil {
+				tr.Event(obs.Event{
+					T: t0, Dur: fab.Eng.Now() - t0, Rank: from, Kind: obs.KindLockQAcquire,
+					Task: -1, Peer: int(loc.Rank), ID: sid,
+				})
+			}
 			fab.FetchAddAsync(c, from, owner.lqLoc(8, 8), 1, func(idx int64) {
 				if idx >= lockQueueCap {
 					panic("remobj: lock-queue overflow; owner is not draining")
 				}
 				fab.PutAsync(c, from, owner.lqLoc(16+int(idx)*rdma.LocSize, rdma.LocSize), buf[:], func() {
-					fab.PutInt64Async(c, from, lock, 0, c.Complete)
+					fab.PutInt64Async(c, from, lock, 0, done)
 				})
 			})
 		}

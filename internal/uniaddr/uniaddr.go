@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 
+	"contsteal/internal/obs"
 	"contsteal/internal/rdma"
 	"contsteal/internal/sim"
 	"contsteal/internal/topo"
@@ -174,6 +175,10 @@ type Manager struct {
 	evacBase rdma.Addr
 
 	St Stats
+
+	// Tr, when non-nil, receives stack-movement spans: remote migrations in
+	// (uniaddr.migratein) and local evacuate/restore copies. Nil by default.
+	Tr obs.Tracer
 }
 
 // New creates the manager for one rank, carving the two regions out of the
@@ -249,7 +254,14 @@ func (m *Manager) Evacuate(p *sim.Proc, addr VAddr, size int) VAddr {
 	m.Uni.Free(addr, size)
 	m.St.Evacuations++
 	m.St.BytesMoved += uint64(size)
-	p.Sleep(m.Mach.Memcpy(size))
+	cost := m.Mach.Memcpy(size)
+	if m.Tr != nil {
+		m.Tr.Event(obs.Event{
+			T: p.Now(), Dur: cost, Rank: m.Rank, Kind: obs.KindEvacuate,
+			Task: -1, Peer: -1, Size: int64(size),
+		})
+	}
+	p.Sleep(cost)
 	return ev
 }
 
@@ -267,7 +279,14 @@ func (m *Manager) Restore(p *sim.Proc, evacAddr VAddr, origAddr VAddr, size int)
 	m.Evac.Free(evacAddr, size)
 	m.St.Restores++
 	m.St.BytesMoved += uint64(size)
-	p.Sleep(m.Mach.Memcpy(size))
+	cost := m.Mach.Memcpy(size)
+	if m.Tr != nil {
+		m.Tr.Event(obs.Event{
+			T: p.Now(), Dur: cost, Rank: m.Rank, Kind: obs.KindRestore,
+			Task: -1, Peer: -1, Size: int64(size),
+		})
+	}
+	p.Sleep(cost)
 	return true
 }
 
@@ -290,6 +309,17 @@ func (m *Manager) MigrateInAsync(c *sim.Chain, src rdma.Loc, addr VAddr, size in
 	if !m.Uni.Reserve(addr, size) {
 		m.St.Conflicts++
 		return false
+	}
+	if tr := m.Tr; tr != nil {
+		t0 := m.Fab.Eng.Now()
+		inner := then
+		then = func() {
+			tr.Event(obs.Event{
+				T: t0, Dur: m.Fab.Eng.Now() - t0, Rank: m.Rank, Kind: obs.KindMigrateIn,
+				Task: -1, Peer: int(src.Rank), Size: int64(size),
+			})
+			inner()
+		}
 	}
 	m.Fab.GetAsync(c, m.Rank, src, m.UniBytes(addr, size), func() {
 		m.St.MigrationsIn++
