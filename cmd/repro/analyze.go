@@ -24,7 +24,8 @@ import (
 // fabric-wait is reported alongside: the rank's time inside raw remote RDMA
 // ops. It is a different cut of the same timeline (the protocol phases above
 // are built out of fabric ops), so it overlaps the other buckets rather than
-// adding to them.
+// adding to them. perturb is the injected-fault share of fabric-wait (the
+// perturb.extra spans): zero unless the run carried an active topo.Perturb.
 func (a *app) analyze(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -49,11 +50,11 @@ func (a *app) analyze(path string) error {
 	fmt.Fprintf(a.stdout, "\n== Delay attribution: %s (%d workers, exec %v) ==\n",
 		path, tr.Workers, tr.ExecTime)
 	w := a.tw()
-	fmt.Fprintln(w, "rank\tbusy\tsteal-search\tsteal-xfer\toj-wait\tother\tfabric-wait\tsteals\tfails\tresumes")
+	fmt.Fprintln(w, "rank\tbusy\tsteal-search\tsteal-xfer\toj-wait\tother\tfabric-wait\tperturb\tsteals\tfails\tresumes")
 	var tot core.RankAttribution
 	for _, r := range att {
 		other := tr.ExecTime - r.Busy - r.StealSearch - r.StealXfer
-		fmt.Fprintf(w, "%d\t%v (%s)\t%v (%s)\t%v (%s)\t%v\t%v (%s)\t%v\t%d\t%d\t%d\n",
+		fmt.Fprintf(w, "%d\t%v (%s)\t%v (%s)\t%v (%s)\t%v\t%v (%s)\t%v\t%v\t%d\t%d\t%d\n",
 			r.Rank,
 			r.Busy, pct(r.Busy),
 			r.StealSearch, pct(r.StealSearch),
@@ -61,18 +62,20 @@ func (a *app) analyze(path string) error {
 			r.OJWait,
 			other, pct(other),
 			r.FabricWait,
+			r.PerturbWait,
 			r.Steals, r.Fails, r.Resumes)
 		tot.Busy += r.Busy
 		tot.StealSearch += r.StealSearch
 		tot.StealXfer += r.StealXfer
 		tot.OJWait += r.OJWait
 		tot.FabricWait += r.FabricWait
+		tot.PerturbWait += r.PerturbWait
 		tot.Steals += r.Steals
 		tot.Fails += r.Fails
 		tot.Resumes += r.Resumes
 	}
-	fmt.Fprintf(w, "Σ\t%v\t%v\t%v\t%v\t\t%v\t%d\t%d\t%d\n",
-		tot.Busy, tot.StealSearch, tot.StealXfer, tot.OJWait, tot.FabricWait,
+	fmt.Fprintf(w, "Σ\t%v\t%v\t%v\t%v\t\t%v\t%v\t%d\t%d\t%d\n",
+		tot.Busy, tot.StealSearch, tot.StealXfer, tot.OJWait, tot.FabricWait, tot.PerturbWait,
 		tot.Steals, tot.Fails, tot.Resumes)
 	w.Flush()
 
@@ -87,6 +90,7 @@ func (a *app) analyze(path string) error {
 	fmt.Fprintf(cw, "steal search\t%v\t%v\n", tot.StealSearch, ck.StealSearchTime)
 	fmt.Fprintf(cw, "outstanding-join time\t%v\t%v\n", tot.OJWait, ck.OutstandingTime)
 	fmt.Fprintf(cw, "fabric time\t%v\t%v\n", tot.FabricWait, ck.FabricTime)
+	fmt.Fprintf(cw, "perturb time\t%v\t%v\n", tot.PerturbWait, ck.PerturbTime)
 	fmt.Fprintf(cw, "steals ok / fail\t%d / %d\t%d / %d\n", tot.Steals, tot.Fails, ck.StealsOK, ck.StealsFail)
 	fmt.Fprintf(cw, "resumes\t%d\t%d\n", tot.Resumes, ck.Resumed)
 	cw.Flush()

@@ -11,8 +11,17 @@
 //	repro fig9   [-tree ...] [-workers-list 48,192,768] [-seqdepth D]
 //	repro table3 [-machine ...] [-workers N]
 //	repro fig12  [-machine ...]
+//	repro resilience [-tree ...] [-workers N] [-seqdepth D] [-machine ...]
 //	repro all    (runs everything at default scale)
 //	repro analyze <trace.json>   (delay attribution from a -trace file)
+//
+// Fault injection: -perturb "jitter=0.5,straggler=0.25,sfactor=3,drop=0.01,
+// seed=1" overlays a deterministic perturbation model (topo.Perturb) on any
+// experiment's runs. The resilience experiment instead owns its scenario
+// axis (baseline, stragglers, jitter, message drops) and reports each
+// system's slowdown relative to its own unperturbed baseline. A spec with
+// zero magnitudes (e.g. "seed=1") is a strict no-op: output is
+// byte-identical to running without -perturb.
 //
 // Every experiment is a grid of independent deterministic simulations;
 // -parallel N runs up to N of them concurrently (default: all CPUs) with
@@ -51,6 +60,7 @@ import (
 
 	"contsteal/internal/experiments"
 	"contsteal/internal/sim"
+	"contsteal/internal/topo"
 )
 
 func main() {
@@ -77,7 +87,7 @@ type section struct {
 }
 
 func usageErr() error {
-	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|all|analyze} [flags]")
+	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|all|analyze} [flags]")
 }
 
 // run executes one repro invocation against the given writers. All tables
@@ -110,9 +120,16 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	engineStats := fs.Bool("engine-stats", false, "print per-job engine counters (events, handoffs, callbacks, events/s) on stderr")
+	perturbSpec := fs.String("perturb", "", `deterministic fault injection, e.g. "jitter=0.5,straggler=0.25,drop=0.01,seed=1" (keys: jitter, straggler, sfactor, degraded, dfactor, drop, seed)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	machineSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "machine" {
+			machineSet = true
+		}
+	})
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -153,6 +170,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Machine: *machine, Workers: *workers, Scale: *scale, Seed: *seed,
 		WorkScale: *workScale, DequeCap: *dequeCap, Parallel: *parallel,
 	}
+	pb, err := topo.ParsePerturb(*perturbSpec)
+	if err != nil {
+		return err
+	}
+	o.Perturb = pb
 	if *traceFormat != "json" && *traceFormat != "chrome" {
 		return fmt.Errorf("unknown -trace-format %q (want json or chrome)", *traceFormat)
 	}
@@ -205,6 +227,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		a.printTable3(experiments.Table3(o, nil))
 	case "fig12":
 		a.printFig12(experiments.Fig12(o, nil, sweep))
+	case "resilience":
+		o2 := o
+		if !machineSet {
+			o2.Machine = "" // sweep both machines unless -machine was given
+		}
+		a.printResilience(experiments.Resilience(o2, *tree, *seqDepth))
 	case "all":
 		for _, b := range []string{"pfor", "recpfor"} {
 			a.printFig6(experiments.Fig6(o, b, fig6NS))
@@ -217,6 +245,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		a.printFig8("Fig. 9: UTS throughput (ours) on wisteria", experiments.Fig9(o2, *tree, sweep, *seqDepth))
 		a.printTable3(experiments.Table3(o, nil))
 		a.printFig12(experiments.Fig12(o, nil, nil))
+		o3 := o
+		o3.Machine = "" // both machines
+		a.printResilience(experiments.Resilience(o3, *tree, *seqDepth))
 	case "analyze":
 		if fs.NArg() != 1 {
 			return fmt.Errorf("usage: repro analyze <trace.json>")
@@ -431,6 +462,37 @@ func (a *app) printFig8(title string, rows []experiments.Fig8Row) {
 	}
 	w.Flush()
 	a.writeTSV(name, []string{"system", "workers", "exec_s", "Mnodes_per_s", "efficiency"}, tsv)
+}
+
+func (a *app) printResilience(rows []experiments.ResilienceRow) {
+	if len(rows) == 0 {
+		return
+	}
+	machLabel := rows[0].Machine
+	for _, r := range rows {
+		if r.Machine != machLabel {
+			machLabel = "all"
+			break
+		}
+	}
+	name := "resilience_" + rows[0].Tree + "_" + machLabel
+	a.record(name, rows)
+	fmt.Fprintf(a.stdout, "\n== Resilience: UTS slowdown under fault injection (%s) ==\n", machLabel)
+	w := a.tw()
+	fmt.Fprintln(w, "machine\tsystem\tscenario\tlevel\texec\tslowdown\tdrops\tretrans")
+	var tsv [][]string
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%g\t%v\t%.3f\t%d\t%d\n",
+			r.Machine, r.System, r.Scenario, r.Level, r.ExecTime, r.Slowdown, r.Drops, r.Retrans)
+		tsv = append(tsv, []string{
+			r.Machine, r.System, r.Scenario,
+			fmt.Sprintf("%g", r.Level),
+			fmt.Sprintf("%.6f", r.ExecTime.Seconds()),
+			fmt.Sprintf("%.4f", r.Slowdown),
+			fmt.Sprint(r.Drops), fmt.Sprint(r.Retrans)})
+	}
+	w.Flush()
+	a.writeTSV(name, []string{"machine", "system", "scenario", "level", "exec_s", "slowdown", "drops", "retrans"}, tsv)
 }
 
 func (a *app) printTable3(rows []experiments.Table3Row) {

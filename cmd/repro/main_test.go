@@ -67,6 +67,49 @@ func TestGoldenFig9TSV(t *testing.T) {
 		[]string{"uts_T1WL'_wisteria.tsv"})
 }
 
+// TestGoldenResilienceTSV pins a micro slice of the fault-injection sweep:
+// every system (ours, saws, charm, glb) under stragglers, latency jitter and
+// (for the two-sided runtimes) message drops, on one machine. The slowdown
+// column is the experiment's figure of merit; drops/retrans pin the
+// retransmission protocol's exact behaviour. 72 workers span two ITO-A
+// nodes, and seed 3 puts one node in the straggler set at level 0.1 and
+// both at 0.3, so every scenario level pins a distinct regime.
+func TestGoldenResilienceTSV(t *testing.T) {
+	runGolden(t,
+		[]string{"resilience", "-machine", "itoa", "-tree", "T1L", "-workers", "72", "-seqdepth", "10", "-seed", "3"},
+		[]string{"resilience_T1L'_itoa.tsv"})
+}
+
+// TestResilienceParallelByteIdentical requires the perturbed sweep to stay
+// byte-identical at any host pool width: fault injection must not leak host
+// scheduling into virtual time (all perturbation RNG is per-job state).
+func TestResilienceParallelByteIdentical(t *testing.T) {
+	render := func(parallel string) string {
+		var stdout bytes.Buffer
+		err := run([]string{"resilience", "-machine", "itoa", "-tree", "T1L", "-workers", "72",
+			"-seqdepth", "10", "-seed", "3", "-json", "-", "-quiet", "-parallel", parallel}, &stdout, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String()
+	}
+	seq := render("1")
+	par := render("8")
+	if seq != par {
+		t.Errorf("-parallel 8 resilience output differs from -parallel 1:\n--- 1 ---\n%s--- 8 ---\n%s", seq, par)
+	}
+}
+
+// TestGoldenPerturbOffEquivalence reruns the fig6 golden slice with a
+// -perturb spec of zero magnitudes and requires byte-identical TSV: an
+// inactive perturbation model must be a strict no-op on every timing path
+// (it may not even consume RNG). This is the golden-equivalence gate CI runs.
+func TestGoldenPerturbOffEquivalence(t *testing.T) {
+	runGolden(t,
+		[]string{"fig6", "-bench", "pfor", "-workers", "18", "-n", "128", "-seed", "7", "-perturb", "seed=1"},
+		[]string{"fig6_pfor_itoa.tsv"})
+}
+
 // TestGoldenFig6TSVTraceOn reruns the fig6 golden slice with tracing and
 // metrics enabled and requires the TSV series to stay byte-identical to the
 // same committed fixture: observability must only observe — it cannot

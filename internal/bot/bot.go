@@ -93,6 +93,10 @@ type Stats struct {
 	StealsFail uint64
 	StolenTsks uint64 // tasks moved by successful steals
 	Msgs       uint64 // messages handled (two-sided runtimes)
+	// Dropped/Retransmits count injected message losses and their recovery
+	// resends (two-sided runtimes under fault injection; see topo.Perturb).
+	Dropped     uint64
+	Retransmits uint64
 	// TermDelay is the time between the last task completing and global
 	// termination being detected.
 	TermDelay sim.Time

@@ -117,7 +117,7 @@ func RunCharm(cfg Config, root Task, expand Expand) Stats {
 			for !s.done {
 				// Process local tasks, polling every PollEvery completions.
 				if t, ok := s.q.pop(); ok {
-					p.Sleep(cfg.Machine.Compute(cfg.Work))
+					p.Sleep(cfg.Machine.ComputeOn(rank, cfg.Work))
 					for _, child := range expand(t) {
 						s.q.push(child)
 						s.pushed++
@@ -190,5 +190,8 @@ func RunCharm(cfg Config, root Task, expand Expand) Stats {
 	if doneAt > lastTask {
 		st.TermDelay = doneAt - lastTask
 	}
+	ns := net.TotalStats()
+	st.Dropped = ns.Dropped
+	st.Retransmits = ns.Retransmits
 	return st
 }

@@ -135,7 +135,7 @@ func RunGLB(cfg Config, root Task, expand Expand) Stats {
 			for !s.done {
 				if t, ok := s.q.pop(); ok {
 					attempts = 0
-					p.Sleep(cfg.Machine.Compute(cfg.Work))
+					p.Sleep(cfg.Machine.ComputeOn(rank, cfg.Work))
 					for _, child := range expand(t) {
 						s.q.push(child)
 						s.pushed++
@@ -219,5 +219,8 @@ func RunGLB(cfg Config, root Task, expand Expand) Stats {
 	if doneAt > lastTask {
 		st.TermDelay = doneAt - lastTask
 	}
+	ns := net.TotalStats()
+	st.Dropped = ns.Dropped
+	st.Retransmits = ns.Retransmits
 	return st
 }

@@ -124,7 +124,8 @@ func RunSAWS(cfg Config, root Task, expand Expand) Stats {
 		}
 		// Bulk transfer of the claimed block (one large get).
 		out := make([]Task, k)
-		p.Sleep(cfg.Machine.OneSided(thief.rank, victim.rank, k*TaskBytes, false))
+		xfer, _ := cfg.Machine.OpDelay(thief.rank, victim.rank, k*TaskBytes, false)
+		p.Sleep(xfer)
 		for i := 0; i < k; i++ {
 			b := fab.Seg(victim.rank).Bytes(victim.taskSlot(h+uint32(i)), TaskBytes)
 			out[i] = getTask(b)
@@ -197,7 +198,7 @@ func RunSAWS(cfg Config, root Task, expand Expand) Stats {
 					}
 				}
 				if t, ok := pop(p, w); ok {
-					p.Sleep(cfg.Machine.Compute(cfg.Work))
+					p.Sleep(cfg.Machine.ComputeOn(w.rank, cfg.Work))
 					for _, child := range expand(t) {
 						push(p, w, child)
 					}

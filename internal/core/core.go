@@ -137,6 +137,18 @@ type Config struct {
 	// merged in rank order so the output is byte-stable regardless of host
 	// parallelism. Retrieve via RunStats.Obs.
 	Metrics bool
+
+	// Perturb, when non-nil, is installed as the Machine's fault-injection
+	// model (topo.Perturb): seeded latency jitter, stragglers, degraded
+	// links. A nil or inactive model is a strict no-op — every run is
+	// byte-identical to one with no Perturb at all.
+	Perturb *topo.Perturb
+
+	// StealBackoff replaces the fixed idle backoff with a bounded
+	// exponential one after a few consecutive failed steals (reset on
+	// success). Auto-enabled when the perturbation model is active; leave
+	// false otherwise to preserve golden timings.
+	StealBackoff bool
 }
 
 // StackScheme selects the stack-address management scheme.
@@ -188,6 +200,12 @@ func (c *Config) defaults() {
 	}
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 1 << 20
+	}
+	if c.Perturb != nil {
+		c.Machine.Perturb = c.Perturb
+	}
+	if c.Machine.Perturb.Active() {
+		c.StealBackoff = true
 	}
 }
 
@@ -369,6 +387,11 @@ func (rt *Runtime) collectObs(rs *RunStats) {
 	m.Counter("waitq.resumes").Add(rs.Work.WaitQResumes)
 	m.Counter("oj.outstanding").Add(rs.Join.Outstanding)
 	m.Counter("oj.resumed").Add(rs.Join.Resumed)
+	// Registered only under fault injection so perturbation-off metric
+	// output stays byte-identical to pre-perturbation runs.
+	if rs.Fabric.PerturbTime > 0 {
+		m.Counter("perturb.extra.ns").Add(uint64(rs.Fabric.PerturbTime))
+	}
 	rs.Obs = m
 }
 

@@ -47,11 +47,13 @@ func (c *Ctx) Access() (*sim.Proc, int) { return c.p, c.worker().rank }
 
 // Compute models d nanoseconds of (ITO-A-reference) computation: the
 // paper's compute(M) busy loop. The duration is scaled by the machine's
-// core speed and counted as busy time. The trace span covers exactly the
-// BusyTime increment, so Σ compute span durations == Work.BusyTime.
+// core speed — and by the straggler factor of the executing rank's node
+// under fault injection — and counted as busy time. The trace span covers
+// exactly the BusyTime increment, so Σ compute span durations ==
+// Work.BusyTime.
 func (c *Ctx) Compute(d sim.Time) {
 	w := c.worker()
-	scaled := c.rt.cfg.Machine.Compute(d)
+	scaled := c.rt.cfg.Machine.ComputeOn(w.rank, d)
 	w.st.BusyTime += scaled
 	if ts := c.rt.tr; ts != nil {
 		task := int64(-1)

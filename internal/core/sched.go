@@ -11,8 +11,52 @@ import (
 // on realistic machines the failed steal itself dominates).
 const idleBackoff = 100 * sim.Nanosecond
 
+// Steal backoff (Config.StealBackoff): after stealBackoffAfter consecutive
+// failed steals the idle delay doubles per additional failure, capped at
+// idleBackoff << stealBackoffShiftMax (12.8 µs), and resets on the next
+// successful steal. Off by default — the fixed idleBackoff is part of the
+// golden timing — and auto-enabled under active perturbation, where idle
+// workers hammering straggler/degraded victims at full rate would inflate
+// contention far beyond what a real backoff-equipped runtime shows.
+const (
+	stealBackoffAfter    = 4
+	stealBackoffShiftMax = 7
+)
+
 // collectEvery is how many failed steals pass between lock-queue drains.
 const collectEvery = 64
+
+// idleDelay returns the duration of one idle-loop sleep: the fixed
+// idleBackoff, or the bounded exponential backoff when enabled.
+func (w *Worker) idleDelay() sim.Time {
+	if !w.rt.cfg.StealBackoff {
+		return idleBackoff
+	}
+	excess := w.failStreak - stealBackoffAfter
+	if excess <= 0 {
+		return idleBackoff
+	}
+	if excess > stealBackoffShiftMax {
+		excess = stealBackoffShiftMax
+	}
+	return idleBackoff << excess
+}
+
+// shouldCollect reports whether the periodic lock-queue drain is due. The
+// drain fires only when StealsFail has *advanced* to a multiple of
+// collectEvery since the last drain: an idle pass that added no failed
+// steal (wait-queue resume, lone worker) must not re-fire it while the
+// counter sits at the same multiple.
+func (w *Worker) shouldCollect() bool {
+	if w.rt.cfg.RemoteFree != remobj.LockQueue {
+		return false
+	}
+	if w.st.StealsFail == 0 || w.st.StealsFail%collectEvery != 0 || w.st.StealsFail == w.lastCollectFails {
+		return false
+	}
+	w.lastCollectFails = w.st.StealsFail
+	return true
+}
 
 // schedule is the scheduler loop of one worker (the paper's "scheduler
 // context"). It runs whenever no user thread occupies the worker:
@@ -61,13 +105,12 @@ func (w *Worker) schedule(p *sim.Proc) {
 			p.Park()
 			continue
 		}
-		// 4. Periodic remote-object collection. StealsFail stays 0 on a
-		// single worker (step 2 never runs), which without the > 0 guard
-		// would drain the queue on every idle loop.
-		if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail > 0 && w.st.StealsFail%collectEvery == 0 {
+		// 4. Periodic remote-object collection (only when the failed-steal
+		// counter has advanced to a new multiple — see shouldCollect).
+		if w.shouldCollect() {
 			rt.objs.Collect(p, w.rank)
 		}
-		p.Sleep(idleBackoff)
+		p.Sleep(w.idleDelay())
 	}
 }
 
@@ -120,6 +163,7 @@ func (w *Worker) pickVictim() *Worker {
 
 // dispatchLocal runs a descriptor popped from the worker's own deque.
 func (w *Worker) dispatchLocal(p *sim.Proc, entry []byte, obj any) {
+	w.failStreak = 0
 	switch entryKind(entry) {
 	case entCont, entResume:
 		w.resume(p, obj.(*Thread))
@@ -166,6 +210,7 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 // stealSucceeded books a successful steal over the same window the trace
 // span covers, so Σ steal span durations == Work.StealLatency exactly.
 func (w *Worker) stealSucceeded(task int64, victim int, start sim.Time, size int64) {
+	w.failStreak = 0
 	lat := w.rt.eng.Now() - start
 	w.st.StealLatency += lat
 	if w.ob != nil {
@@ -178,6 +223,7 @@ func (w *Worker) stealSucceeded(task int64, victim int, start sim.Time, size int
 // steal-search time and becomes a steal.fail trace span over that window,
 // so Σ steal.fail durations == Work.StealSearchTime exactly.
 func (w *Worker) stealFailed(victim *Worker, start sim.Time, chain sim.Time) {
+	w.failStreak++
 	w.st.StealsFail++
 	w.st.StealSearchTime += chain
 	if w.ob != nil {
@@ -215,10 +261,10 @@ func (w *Worker) scheduleRtC(p *sim.Proc) {
 	}
 	for !rt.done {
 		if !w.tryRunOneRtC(p) {
-			if rt.cfg.RemoteFree == remobj.LockQueue && w.st.StealsFail > 0 && w.st.StealsFail%collectEvery == 0 {
+			if w.shouldCollect() {
 				rt.objs.Collect(p, w.rank)
 			}
-			p.Sleep(idleBackoff)
+			p.Sleep(w.idleDelay())
 		}
 	}
 }
@@ -231,6 +277,7 @@ func (w *Worker) tryRunOneRtC(p *sim.Proc) bool {
 		return false
 	}
 	if _, obj, ok := w.dq.Pop(p); ok {
+		w.failStreak = 0
 		w.runInline(p, obj.(*childTask))
 		return true
 	}

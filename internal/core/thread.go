@@ -81,6 +81,15 @@ type Worker struct {
 	current  *Thread
 	rtcDepth int // ChildRtC: nesting depth of inline task execution
 
+	// failStreak counts consecutive failed steals since the last success;
+	// it drives the idle exponential backoff when Config.StealBackoff is on.
+	failStreak int
+	// lastCollectFails is the StealsFail value at the last periodic
+	// lock-queue drain, so an idle pass that did not add a new failed steal
+	// cannot re-fire the drain while the counter sits at a multiple of
+	// collectEvery.
+	lastCollectFails uint64
+
 	rootTask TaskFunc
 	st       WorkerStats
 	ob       *workerObs // non-nil when Config.Metrics is set

@@ -52,9 +52,13 @@ type TraceCheck struct {
 	StealSearchTime sim.Time `json:"steal_search_time"`
 	OutstandingTime sim.Time `json:"outstanding_time"`
 	FabricTime      sim.Time `json:"fabric_time"`
-	StealsOK        uint64   `json:"steals_ok"`
-	StealsFail      uint64   `json:"steals_fail"`
-	Resumed         uint64   `json:"resumed"`
+	// PerturbTime is the fault-injection extra inside FabricTime
+	// (Σ perturb.extra spans). omitempty keeps perturbation-off trace files
+	// byte-identical to pre-perturbation ones.
+	PerturbTime sim.Time `json:"perturb_time,omitempty"`
+	StealsOK    uint64   `json:"steals_ok"`
+	StealsFail  uint64   `json:"steals_fail"`
+	Resumed     uint64   `json:"resumed"`
 }
 
 // Trace is the recorded event log of a run.
@@ -157,6 +161,7 @@ func (rt *Runtime) TraceLog() *Trace {
 			StealSearchTime: rs.Work.StealSearchTime,
 			OutstandingTime: rs.Join.OutstandingTime,
 			FabricTime:      rs.Fabric.RemoteTime,
+			PerturbTime:     rs.Fabric.PerturbTime,
 			StealsOK:        rs.Work.StealsOK,
 			StealsFail:      rs.Work.StealsFail,
 			Resumed:         rs.Join.Resumed,
@@ -375,6 +380,7 @@ type RankAttribution struct {
 	StealXfer   sim.Time // Σ steal spans: successful protocol + payload transfer
 	OJWait      sim.Time // Σ resume spans: outstanding joins waiting, attributed to the resuming rank
 	FabricWait  sim.Time // Σ rdma.* spans issued by this rank (overlaps the protocol buckets above)
+	PerturbWait sim.Time // Σ perturb.extra spans: fault-injection extra inside FabricWait
 	Steals      uint64
 	Fails       uint64
 	Resumes     uint64
@@ -408,6 +414,8 @@ func (t *Trace) Attribution() []RankAttribution {
 			a.Resumes++
 		case e.Kind.Layer() == "rdma":
 			a.FabricWait += e.Dur
+		case e.Kind == obs.KindPerturb:
+			a.PerturbWait += e.Dur
 		}
 	}
 	return out
@@ -418,7 +426,7 @@ func (t *Trace) Attribution() []RankAttribution {
 // agree exactly — any nonzero difference indicates an instrumentation or
 // scheduler accounting bug. Returns nil when all totals match.
 func (t *Trace) Verify() error {
-	var busy, search, xfer, oj, fab sim.Time
+	var busy, search, xfer, oj, fab, pert sim.Time
 	var steals, fails, resumes uint64
 	for _, a := range t.Attribution() {
 		busy += a.Busy
@@ -426,6 +434,7 @@ func (t *Trace) Verify() error {
 		xfer += a.StealXfer
 		oj += a.OJWait
 		fab += a.FabricWait
+		pert += a.PerturbWait
 		steals += a.Steals
 		fails += a.Fails
 		resumes += a.Resumes
@@ -440,6 +449,7 @@ func (t *Trace) Verify() error {
 		{"steal_search_time", int64(search), int64(ck.StealSearchTime)},
 		{"outstanding_time", int64(oj), int64(ck.OutstandingTime)},
 		{"fabric_time", int64(fab), int64(ck.FabricTime)},
+		{"perturb_time", int64(pert), int64(ck.PerturbTime)},
 		{"steals_ok", int64(steals), int64(ck.StealsOK)},
 		{"steals_fail", int64(fails), int64(ck.StealsFail)},
 		{"resumed", int64(resumes), int64(ck.Resumed)},

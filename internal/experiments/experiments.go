@@ -100,6 +100,11 @@ type Options struct {
 	// Obs, when non-nil, collects a trace and/or metrics registry from the
 	// first simulated run of the invocation (first grid point of a sweep).
 	Obs *ObsCollector
+	// Perturb, when non-nil, injects deterministic timing/fault perturbations
+	// into every simulated run of the experiment (see topo.Perturb). The
+	// struct is read-only configuration; per-run RNG state lives in each
+	// job's own Machine, so sharing one Perturb across grid points is safe.
+	Perturb *topo.Perturb
 
 	// obsClaimed marks an Options copy whose job claimed Obs at
 	// grid-construction time (see utsJob).
@@ -125,6 +130,7 @@ func runCfg(o Options, v Variant) core.Config {
 		Policy:     v.Policy,
 		RemoteFree: v.Free,
 		Seed:       o.Seed,
+		Perturb:    o.Perturb,
 		MaxTime:    1800 * sim.Second,
 	}
 }
@@ -361,8 +367,10 @@ func botConfig(o Options, workers int) bot.Config {
 	if o.WorkScale > 1 {
 		work *= sim.Time(o.WorkScale)
 	}
+	mach := MachineByName(o.Machine)
+	mach.Perturb = o.Perturb
 	return bot.Config{
-		Machine: MachineByName(o.Machine),
+		Machine: mach,
 		Workers: workers,
 		Seed:    o.Seed,
 		Work:    work,

@@ -24,6 +24,17 @@ const SoftwareOverhead = 800 * sim.Nanosecond
 // InjectCost is the sender-side cost of posting a message.
 const InjectCost = 300 * sim.Nanosecond
 
+// Retransmission parameters, used only when the machine's Perturb model
+// injects message drops. A lost delivery attempt is detected by an ack
+// timeout and retransmitted; the timeout starts at RetransBase and doubles
+// per attempt up to RetransMax (bounded exponential backoff). The sender
+// proc is never re-involved — loss recovery runs entirely on engine
+// callbacks, as a NIC/progress-thread would.
+const (
+	RetransBase = 20 * sim.Microsecond
+	RetransMax  = 320 * sim.Microsecond
+)
+
 // Msg is one application message.
 type Msg struct {
 	From int
@@ -36,6 +47,11 @@ type Msg struct {
 type Stats struct {
 	Sent, Received uint64
 	BytesSent      uint64
+	// Dropped counts delivery attempts lost in flight (fault injection);
+	// Retransmits counts the recovery resends. Every drop triggers exactly
+	// one retransmit, and every sent message is eventually received exactly
+	// once, so Received totals are unaffected by drops.
+	Dropped, Retransmits uint64
 }
 
 // Net is a simulated two-sided network between P ranks.
@@ -64,23 +80,62 @@ func New(eng *sim.Engine, mach *topo.Machine, nranks int) *Net {
 
 // Send posts m from rank `from` to rank `to`. The sender pays only the
 // injection cost (eager send); the message lands in the destination
-// mailbox after the wire latency.
+// mailbox after the wire latency. Under fault injection a delivery attempt
+// may be dropped; loss recovery (timeout + retransmit, see deliver) is
+// transparent to the sender, which still pays only InjectCost.
 func (n *Net) Send(p *sim.Proc, from, to int, m Msg) {
 	m.From = from
 	size := 16 + len(m.Data)
 	n.st[from].Sent++
 	n.st[from].BytesSent += uint64(size)
-	delay := n.Mach.OneSided(from, to, size, false)
+	n.deliver(from, to, size, m, RetransBase)
+	p.Sleep(InjectCost)
+}
+
+// deliver models one delivery attempt of m on the wire. A non-dropped
+// attempt appends to the destination mailbox after the (possibly jittered)
+// wire latency. A dropped attempt is detected by ack timeout rto and
+// retransmitted — each retry re-draws its own wire delay and drop verdict
+// from the link's seeded streams, with the timeout doubling up to
+// RetransMax. The recursion runs on engine callbacks at increasing virtual
+// times, so a message survives any drop sequence short of probability-1
+// loss and is delivered exactly once.
+func (n *Net) deliver(from, to, size int, m Msg, rto sim.Time) {
+	now := n.Eng.Now()
+	if n.Mach.DropMsg(from, to) {
+		n.st[from].Dropped++
+		if n.Tr != nil {
+			n.Tr.Event(obs.Event{
+				T: now, Dur: 0, Rank: from, Kind: obs.KindMsgDrop,
+				Task: -1, Peer: to, Size: int64(size),
+			})
+		}
+		n.Eng.After(rto, func() {
+			n.st[from].Retransmits++
+			if n.Tr != nil {
+				n.Tr.Event(obs.Event{
+					T: now, Dur: rto, Rank: from, Kind: obs.KindMsgRetry,
+					Task: -1, Peer: to, Size: int64(size),
+				})
+			}
+			next := rto * 2
+			if next > RetransMax {
+				next = RetransMax
+			}
+			n.deliver(from, to, size, m, next)
+		})
+		return
+	}
+	delay, _ := n.Mach.OpDelay(from, to, size, false)
 	if n.Tr != nil {
 		n.Tr.Event(obs.Event{
-			T: p.Now(), Dur: delay, Rank: from, Kind: obs.KindMsgSend,
+			T: now, Dur: delay, Rank: from, Kind: obs.KindMsgSend,
 			Task: -1, Peer: to, Size: int64(size),
 		})
 	}
 	n.Eng.After(delay, func() {
 		n.boxes[to] = append(n.boxes[to], m)
 	})
-	p.Sleep(InjectCost)
 }
 
 // PollAsync removes the oldest pending message for rank as one link of
@@ -90,7 +145,14 @@ func (n *Net) Send(p *sim.Proc, from, to int, m Msg) {
 // (hit) or the local-check cost (miss).
 func (n *Net) PollAsync(c *sim.Chain, rank int, then func(m Msg, ok bool)) {
 	if len(n.boxes[rank]) == 0 {
-		c.Then(n.Mach.LocalOp, func() { then(Msg{}, false) })
+		miss := n.Mach.LocalOp
+		if miss < 1 {
+			// An empty poll must advance virtual time: on zero-cost
+			// machines (topo.Uniform) a polling loop would otherwise spin
+			// forever at the same instant.
+			miss = 1
+		}
+		c.Then(miss, func() { then(Msg{}, false) })
 		return
 	}
 	m := n.boxes[rank][0]
@@ -132,6 +194,8 @@ func (n *Net) TotalStats() Stats {
 		t.Sent += s.Sent
 		t.Received += s.Received
 		t.BytesSent += s.BytesSent
+		t.Dropped += s.Dropped
+		t.Retransmits += s.Retransmits
 	}
 	return t
 }

@@ -1,0 +1,113 @@
+package msg
+
+import (
+	"testing"
+
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// TestDropsRetransmittedExactlyOnce is the drop/retransmit contract: under
+// heavy injected loss every sent message is still delivered — exactly once,
+// in eventual consistency with Sent — and the drop/retransmit counters pair
+// up one to one.
+func TestDropsRetransmittedExactlyOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topo.Uniform(5 * sim.Microsecond)
+	m.Perturb = &topo.Perturb{Seed: 42, DropProb: 0.4}
+	n := New(eng, m, 2)
+
+	const N = 200
+	recv := make(map[int64]int)
+	eng.Go("recv", func(p *sim.Proc) {
+		for len(recv) < N {
+			if msg, ok := n.Poll(p, 1); ok {
+				recv[msg.A]++
+			} else {
+				p.Sleep(sim.Microsecond)
+			}
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		for i := 0; i < N; i++ {
+			n.Send(p, 0, 1, Msg{Kind: 1, A: int64(i)})
+		}
+	})
+	eng.Run(sim.Forever)
+
+	for i := int64(0); i < N; i++ {
+		if recv[i] != 1 {
+			t.Fatalf("message %d delivered %d times, want exactly once", i, recv[i])
+		}
+	}
+	st := n.Stats(0)
+	if st.Sent != N || n.Stats(1).Received != N {
+		t.Errorf("sent %d received %d, want %d each", st.Sent, n.Stats(1).Received, N)
+	}
+	if st.Dropped == 0 {
+		t.Error("no drops at p=0.4 over 200 sends — fault injection inert")
+	}
+	if st.Dropped != st.Retransmits {
+		t.Errorf("drops (%d) != retransmits (%d): a lost attempt leaked", st.Dropped, st.Retransmits)
+	}
+}
+
+// TestDropDelaysDelivery: a dropped first attempt must push delivery past
+// the retransmission timeout, and the backoff must stay bounded.
+func TestDropDelaysDelivery(t *testing.T) {
+	// Find a seed whose first draw on link 0->1 is a drop.
+	var pb *topo.Perturb
+	for seed := int64(1); seed < 64; seed++ {
+		m := topo.Uniform(1000)
+		m.Perturb = &topo.Perturb{Seed: seed, DropProb: 0.5}
+		if m.DropMsg(0, 1) {
+			pb = &topo.Perturb{Seed: seed, DropProb: 0.5}
+			break
+		}
+	}
+	if pb == nil {
+		t.Fatal("no seed in [1,64) drops on first draw at p=0.5")
+	}
+	eng := sim.NewEngine()
+	m := topo.Uniform(1000)
+	m.Perturb = pb
+	n := New(eng, m, 2)
+	var when sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		for {
+			if _, ok := n.Poll(p, 1); ok {
+				when = p.Now()
+				return
+			}
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) { n.Send(p, 0, 1, Msg{Kind: 9}) })
+	eng.Run(sim.Forever)
+	if when < RetransBase {
+		t.Errorf("delivery at %v, before the first retransmission timeout %v", when, RetransBase)
+	}
+	if n.Stats(0).Dropped < 1 {
+		t.Error("picked seed did not drop inside Send")
+	}
+}
+
+// TestEmptyPollAdvancesTime is the regression test for the zero-time idle
+// loop: on a zero-LocalOp machine (topo.Uniform) an empty poll must still
+// advance virtual time, or a polling baseline would spin forever at one
+// instant.
+func TestEmptyPollAdvancesTime(t *testing.T) {
+	eng, n := setup(1000, 1)
+	var before, after sim.Time
+	eng.Go("poll", func(p *sim.Proc) {
+		before = p.Now()
+		if _, ok := n.Poll(p, 0); ok {
+			t.Error("poll on empty mailbox returned a message")
+		}
+		after = p.Now()
+	})
+	eng.Run(sim.Forever)
+	if after <= before {
+		t.Errorf("empty poll left virtual time at %v (was %v); miss cost must be floored at 1ns", after, before)
+	}
+}

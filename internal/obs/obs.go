@@ -70,8 +70,19 @@ const (
 
 // Two-sided messaging kinds.
 const (
-	KindMsgSend Kind = "msg.send" // span = wire latency on the sender's row
-	KindMsgPoll Kind = "msg.poll" // successful poll (span = software overhead)
+	KindMsgSend  Kind = "msg.send"  // span = wire latency on the sender's row
+	KindMsgPoll  Kind = "msg.poll"  // successful poll (span = software overhead)
+	KindMsgDrop  Kind = "msg.drop"  // a delivery attempt lost in flight (instant)
+	KindMsgRetry Kind = "msg.retry" // retransmission backoff wait (span = RTO)
+)
+
+// Fault-injection kinds (see topo.Perturb).
+const (
+	// KindPerturb is the extra delay a perturbation added on top of the
+	// unperturbed cost of one remote op (span; Σ dur == Fabric.PerturbTime).
+	// Emitted only when the extra is nonzero, so perturbation-off traces are
+	// byte-identical to pre-perturbation ones.
+	KindPerturb Kind = "perturb.extra"
 )
 
 // Stack-management kinds (uni-address scheme).

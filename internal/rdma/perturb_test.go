@@ -1,0 +1,61 @@
+package rdma
+
+import (
+	"testing"
+
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// TestPerturbedOpsChargePerturbTime checks that active latency jitter
+// stretches every remote op, accumulates the stretch in OpStats.PerturbTime,
+// and stays byte-deterministic for a fixed seed — while an inactive model
+// leaves virtual time exactly at the unperturbed value.
+func TestPerturbedOpsChargePerturbTime(t *testing.T) {
+	run := func(pb *topo.Perturb) (sim.Time, OpStats) {
+		eng := sim.NewEngine()
+		m := topo.Uniform(1000)
+		m.Perturb = pb
+		f := NewFabric(eng, m, 2, 1024)
+		addr := f.Alloc(1, 64)
+		loc := Loc{Rank: 1, Addr: addr, Size: 64}
+		eng.Go("w0", func(p *sim.Proc) {
+			for i := 0; i < 8; i++ {
+				f.PutInt64(p, 0, loc, int64(i))
+				f.GetInt64(p, 0, loc)
+				f.FetchAdd(p, 0, loc, 1)
+			}
+		})
+		eng.Run(sim.Forever)
+		return eng.Now(), f.Stats(0)
+	}
+
+	base, st0 := run(nil)
+	if base != 24*1000 {
+		t.Fatalf("unperturbed run took %v, want 24000ns", base)
+	}
+	if st0.PerturbTime != 0 {
+		t.Fatalf("unperturbed PerturbTime = %v", st0.PerturbTime)
+	}
+
+	off, stOff := run(&topo.Perturb{Seed: 5}) // plumbed but inactive
+	if off != base || stOff.PerturbTime != 0 {
+		t.Errorf("inactive Perturb changed timing: %v vs %v", off, base)
+	}
+
+	pb := &topo.Perturb{Seed: 5, LatencyJitter: 0.5}
+	jit, st := run(pb)
+	if st.PerturbTime <= 0 {
+		t.Fatalf("jittered run accumulated no PerturbTime")
+	}
+	if jit != base+st.PerturbTime {
+		t.Errorf("exec %v != base %v + PerturbTime %v (ops are sequential here)", jit, base, st.PerturbTime)
+	}
+	if st.RemoteTime != 24*1000+st.PerturbTime {
+		t.Errorf("RemoteTime %v does not include the perturb extra", st.RemoteTime)
+	}
+	jit2, st2 := run(&topo.Perturb{Seed: 5, LatencyJitter: 0.5})
+	if jit2 != jit || st2 != st {
+		t.Errorf("same seed, different outcome: %v/%+v vs %v/%+v", jit2, st2, jit, st)
+	}
+}

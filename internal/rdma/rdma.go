@@ -84,6 +84,10 @@ type OpStats struct {
 	// equals the summed duration of the rank's rdma.* trace spans by
 	// construction — the fabric-wait column of `repro analyze`.
 	RemoteTime sim.Time
+	// PerturbTime is the portion of RemoteTime added by the machine's
+	// Perturb model (jitter, degraded links). Zero when perturbations are
+	// off; equals the summed duration of the rank's perturb.extra spans.
+	PerturbTime sim.Time
 }
 
 // Add accumulates other into s.
@@ -95,6 +99,7 @@ func (s *OpStats) Add(other OpStats) {
 	s.BytesOut += other.BytesOut
 	s.BytesIn += other.BytesIn
 	s.RemoteTime += other.RemoteTime
+	s.PerturbTime += other.PerturbTime
 }
 
 // Fabric is the simulated RDMA network connecting P ranks.
@@ -111,16 +116,30 @@ type Fabric struct {
 	Tr obs.Tracer
 }
 
-// remote charges a remote op's delay to the issuer's RemoteTime and traces
-// it. Called exactly once per remote operation, at issue time.
-func (f *Fabric) remote(from int, to int32, kind obs.Kind, size int, delay sim.Time) {
+// remote models one remote op's completion delay — the machine cost plus any
+// perturbation extra (latency jitter, degraded links) — charges it to the
+// issuer's RemoteTime/PerturbTime, and traces it. Called exactly once per
+// remote operation, at issue time; the returned delay is what the op's chain
+// link (or After callback) waits for. When perturbations are off the extra
+// is zero, no RNG is consumed, and no perturb span is emitted, so the traced
+// timeline is byte-identical to the unperturbed one.
+func (f *Fabric) remote(from int, to int32, kind obs.Kind, size int, atomic bool) sim.Time {
+	delay, extra := f.Mach.OpDelay(from, int(to), size, atomic)
 	f.st[from].RemoteTime += delay
+	f.st[from].PerturbTime += extra
 	if f.Tr != nil {
 		f.Tr.Event(obs.Event{
 			T: f.Eng.Now(), Dur: delay, Rank: from, Kind: kind,
 			Task: -1, Peer: int(to), Size: int64(size),
 		})
+		if extra > 0 {
+			f.Tr.Event(obs.Event{
+				T: f.Eng.Now(), Dur: extra, Rank: from, Kind: obs.KindPerturb,
+				Task: -1, Peer: int(to), Size: int64(size),
+			})
+		}
 	}
+	return delay
 }
 
 // NewFabric creates a fabric with nranks ranks, each owning a segment that
@@ -199,8 +218,7 @@ func (f *Fabric) GetAsync(c *sim.Chain, from int, loc Loc, dst []byte, then func
 	}
 	f.st[from].Gets++
 	f.st[from].BytesIn += uint64(len(dst))
-	delay := f.Mach.OneSided(from, int(loc.Rank), len(dst), false)
-	f.remote(from, loc.Rank, obs.KindRDMAGet, len(dst), delay)
+	delay := f.remote(from, loc.Rank, obs.KindRDMAGet, len(dst), false)
 	c.Then(delay, func() {
 		copy(dst, f.segs[loc.Rank].bytes(loc.Addr, len(dst)))
 		then()
@@ -223,8 +241,7 @@ func (f *Fabric) PutAsync(c *sim.Chain, from int, loc Loc, src []byte, then func
 	}
 	f.st[from].Puts++
 	f.st[from].BytesOut += uint64(len(src))
-	delay := f.Mach.OneSided(from, int(loc.Rank), len(src), false)
-	f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), delay)
+	delay := f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), false)
 	c.Then(delay, func() {
 		copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
 		then()
@@ -240,8 +257,7 @@ func (f *Fabric) GetInt64Async(c *sim.Chain, from int, loc Loc, then func(v int6
 	}
 	f.st[from].Gets++
 	f.st[from].BytesIn += 8
-	delay := f.Mach.OneSided(from, int(loc.Rank), 8, false)
-	f.remote(from, loc.Rank, obs.KindRDMAGet, 8, delay)
+	delay := f.remote(from, loc.Rank, obs.KindRDMAGet, 8, false)
 	c.Then(delay, func() {
 		then(int64(binary.LittleEndian.Uint64(f.segs[loc.Rank].bytes(loc.Addr, 8))))
 	})
@@ -257,8 +273,7 @@ func (f *Fabric) PutInt64Async(c *sim.Chain, from int, loc Loc, v int64, then fu
 	}
 	f.st[from].Puts++
 	f.st[from].BytesOut += 8
-	delay := f.Mach.OneSided(from, int(loc.Rank), 8, false)
-	f.remote(from, loc.Rank, obs.KindRDMAPut, 8, delay)
+	delay := f.remote(from, loc.Rank, obs.KindRDMAPut, 8, false)
 	c.Then(delay, func() {
 		binary.LittleEndian.PutUint64(f.segs[loc.Rank].bytes(loc.Addr, 8), uint64(v))
 		then()
@@ -281,8 +296,7 @@ func (f *Fabric) FetchAddAsync(c *sim.Chain, from int, loc Loc, delta int64, the
 		return
 	}
 	f.st[from].Atomics++
-	delay := f.Mach.OneSided(from, int(loc.Rank), 8, true)
-	f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, delay)
+	delay := f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, true)
 	c.Then(delay, func() { then(apply()) })
 }
 
@@ -303,8 +317,7 @@ func (f *Fabric) CASAsync(c *sim.Chain, from int, loc Loc, old, new int64, then 
 		return
 	}
 	f.st[from].Atomics++
-	delay := f.Mach.OneSided(from, int(loc.Rank), 8, true)
-	f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, delay)
+	delay := f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, true)
 	c.Then(delay, func() { then(apply()) })
 }
 
@@ -346,8 +359,7 @@ func (f *Fabric) PutNB(p *sim.Proc, from int, loc Loc, src []byte) {
 	f.st[from].Puts++
 	f.st[from].BytesOut += uint64(len(src))
 	data := append([]byte(nil), src...)
-	delay := f.Mach.OneSided(from, int(loc.Rank), len(src), false)
-	f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), delay)
+	delay := f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), false)
 	f.Eng.After(delay, func() {
 		copy(f.segs[loc.Rank].bytes(loc.Addr, len(data)), data)
 	})

@@ -60,6 +60,17 @@ type Machine struct {
 	// reference (>1 means slower). The UTS per-node work and the LCS block
 	// kernel are multiplied by this.
 	SpeedFactor float64
+
+	// Perturb, when non-nil and Active, injects deterministic perturbations
+	// (latency jitter, stragglers, degraded links, message drops) into the
+	// op-issue paths that consult it; see perturb.go. Nil means the machine
+	// behaves exactly as the unperturbed cost model above.
+	Perturb *Perturb
+
+	// pert holds the lazily initialised per-link RNG streams backing Perturb.
+	// It lives on the Machine (one Machine per engine) so that concurrent
+	// sweep jobs never share mutable state.
+	pert *pertState
 }
 
 // ITOA returns the ITO-A-like machine model (Xeon Skylake + InfiniBand EDR,
@@ -129,15 +140,19 @@ func (m *Machine) SameNode(a, b int) bool { return m.NodeOf(a) == m.NodeOf(b) }
 
 // OneSided returns the simulated duration of a one-sided put/get of size
 // bytes from rank `from` to rank `to`. atomic selects the atomic-op surcharge.
+// Intra-node ops go through the MPI shared-memory window, so their size term
+// is billed at memory bandwidth, not network bandwidth.
 func (m *Machine) OneSided(from, to, size int, atomic bool) sim.Time {
 	base := m.InterLatency
+	bw := m.NetBytesPerNS
 	if m.SameNode(from, to) {
 		base = m.IntraLatency
+		bw = m.MemBytesPerNS
 	}
 	if atomic {
 		base += m.AtomicExtra
 	}
-	return base + sim.Time(float64(size)/m.NetBytesPerNS)
+	return base + sim.Time(float64(size)/bw)
 }
 
 // Memcpy returns the duration of a local memory copy of size bytes.
