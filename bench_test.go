@@ -377,3 +377,47 @@ func benchAblationStackScheme(b *testing.B, scheme core.StackScheme) {
 
 func BenchmarkAblationUniAddress(b *testing.B) { benchAblationStackScheme(b, core.UniAddress) }
 func BenchmarkAblationIsoAddress(b *testing.B) { benchAblationStackScheme(b, core.IsoAddress) }
+
+// ---------------------------------------------------------------------------
+// Sharded engine — host throughput of the windowed conservative execution
+// ---------------------------------------------------------------------------
+
+// benchEngineSharded runs a fixed shard-confined program — 4 logical nodes
+// exchanging cross-node events at exactly the lookahead of the WISTERIA-O
+// model — on a windowed group of the given shard count and reports host
+// event throughput. The virtual-time result is identical for every shard
+// count (the differential tests assert it); only host wall time changes.
+// On a multi-core host the 4-shard run executes windows concurrently; on a
+// single-thread host the numbers only instrument the windowing overhead.
+func benchEngineSharded(b *testing.B, shards int) {
+	const nodes = 4
+	const steps = 20000
+	look := experiments.MachineByName("wisteria").MinCrossNodeLatency()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.NewSharded(shards, look)
+		for node := 0; node < nodes; node++ {
+			node := node
+			shard := node % shards
+			s.Go(shard, "node", func(p *sim.Proc) {
+				for step := 0; step < steps; step++ {
+					p.Sleep(sim.Time(200 + node))
+					s.Shard(shard).After(50, func() {})
+					if step%4 == 0 {
+						dst := ((node + 1) % nodes) % shards
+						s.RouteAfter(shard, dst, look, func() {})
+					}
+				}
+			})
+		}
+		s.Run(sim.Forever)
+		events = s.Stats().Events
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkEngineSharded1(b *testing.B) { benchEngineSharded(b, 1) }
+func BenchmarkEngineSharded2(b *testing.B) { benchEngineSharded(b, 2) }
+func BenchmarkEngineSharded4(b *testing.B) { benchEngineSharded(b, 4) }

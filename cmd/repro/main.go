@@ -120,6 +120,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	engineStats := fs.Bool("engine-stats", false, "print per-job engine counters (events, handoffs, callbacks, events/s) on stderr")
+	shards := fs.Int("shards", 1, "per-node event-heap shards inside each engine (results identical for every value)")
 	perturbSpec := fs.String("perturb", "", `deterministic fault injection, e.g. "jitter=0.5,straggler=0.25,drop=0.01,seed=1" (keys: jitter, straggler, sfactor, degraded, dfactor, drop, seed)`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,9 +167,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		// parallel pool the engines need all host threads instead.
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
 	o := experiments.Options{
 		Machine: *machine, Workers: *workers, Scale: *scale, Seed: *seed,
 		WorkScale: *workScale, DequeCap: *dequeCap, Parallel: *parallel,
+		Shards: *shards,
 	}
 	pb, err := topo.ParsePerturb(*perturbSpec)
 	if err != nil {
@@ -196,9 +201,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		defer func() { experiments.Progress = nil }()
 	}
 	if *engineStats {
-		experiments.EngineStats = func(c experiments.Coord, es sim.EngineStats, wall time.Duration) {
+		experiments.EngineStats = func(c experiments.Coord, es sim.EngineStats, cross uint64, wall time.Duration) {
 			fmt.Fprintf(stderr, "engine [%s] events=%d handoffs=%d callbacks=%d events/s=%.2fM\n",
 				c, es.Events, es.Handoffs, es.Callbacks, float64(es.Events)/wall.Seconds()/1e6)
+			if *shards > 1 {
+				fmt.Fprintf(stderr, "engine [%s] shards=%d cross-shard=%d (%.1f%% of events)\n",
+					c, *shards, cross, 100*float64(cross)/float64(es.Events))
+			}
 		}
 		defer func() { experiments.EngineStats = nil }()
 	}

@@ -149,6 +149,15 @@ type Config struct {
 	// success). Auto-enabled when the perturbation model is active; leave
 	// false otherwise to preserve golden timings.
 	StealBackoff bool
+
+	// Shards selects the engine's node-sharded mode: events are kept in
+	// per-shard heaps with each node's ranks owning one shard (round-robin
+	// when nodes outnumber shards). Virtual-time results are byte-identical
+	// at every shard count — the engine still dispatches the global-minimum
+	// event — so this only changes host-side event organization; see
+	// sim.NewEngineShards and DESIGN.md §1.2. 0 or 1 means the classic
+	// single-heap engine.
+	Shards int
 }
 
 // StackScheme selects the stack-address management scheme.
@@ -207,6 +216,13 @@ func (c *Config) defaults() {
 	if c.Machine.Perturb.Active() {
 		c.StealBackoff = true
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if nodes := (c.Workers + c.Machine.CoresPerNode - 1) / c.Machine.CoresPerNode; c.Shards > nodes {
+		// More shards than nodes would leave empty heaps; clamp.
+		c.Shards = nodes
+	}
 }
 
 // Runtime is one simulated cluster execution environment.
@@ -239,7 +255,7 @@ type Runtime struct {
 // New builds a runtime. Call Run exactly once.
 func New(cfg Config) *Runtime {
 	cfg.defaults()
-	eng := sim.NewEngine()
+	eng := sim.NewEngineShards(cfg.Shards)
 	fab := rdma.NewFabric(eng, cfg.Machine, cfg.Workers, cfg.SegmentBytes)
 	rt := &Runtime{
 		cfg:      cfg,
@@ -299,12 +315,18 @@ func (rt *Runtime) Fabric() *rdma.Fabric { return rt.fab }
 // Config returns the (defaulted) configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
+// shardOf returns the engine shard owning rank's node (round-robin over
+// shards). All of a rank's procs and timer events live on this shard.
+func (rt *Runtime) shardOf(rank int) int {
+	return rt.cfg.Machine.NodeOf(rank) % rt.cfg.Shards
+}
+
 // Run executes root as the initial task on worker 0 and simulates until the
 // whole computation completes. It returns the root's return value and the
 // aggregated statistics.
 func (rt *Runtime) Run(root TaskFunc) ([]byte, RunStats) {
 	for _, w := range rt.workers {
-		w.proc = rt.eng.GoID("worker", int64(w.rank), w.schedule)
+		w.proc = rt.eng.GoIDOn(rt.shardOf(w.rank), "worker", int64(w.rank), w.schedule)
 	}
 	rt.workers[0].rootTask = root
 	if rt.cfg.Sample > 0 {
@@ -354,6 +376,7 @@ func (rt *Runtime) collect(end sim.Time) RunStats {
 	}
 	rs.IsoVirtualBytes = rt.isoHigh
 	rs.Engine = rt.eng.Stats()
+	rs.CrossShard = rt.eng.CrossShard()
 	for _, w := range rt.workers {
 		rs.Work.add(&w.st)
 		rs.Stack.Evacuations += w.ua.St.Evacuations

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"contsteal/internal/sim"
+)
+
+// runFibSharded runs the fib microkernel with the given shard count and
+// returns the root bytes, the stats, and (trace, metrics) serializations.
+func runFibSharded(t *testing.T, policy Policy, workers, shards int) ([]byte, RunStats, []byte, []byte) {
+	t.Helper()
+	cfg := testConfig(policy, workers) // Uniform machine: one core per node
+	cfg.Shards = shards
+	cfg.Trace = true
+	cfg.Metrics = true
+	rt := New(cfg)
+	ret, st := rt.Run(fibTask(13))
+	var tr, mt bytes.Buffer
+	if err := rt.TraceLog().WriteJSON(&tr); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if err := st.Obs.WriteTSV(&mt); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	return ret, st, tr.Bytes(), mt.Bytes()
+}
+
+// TestRuntimeShardsByteIdentical is the core-level identity: the full
+// runtime — scheduler, deques, rdma, remote objects, tracing, metrics —
+// produces byte-identical results at every shard count, for every policy.
+func TestRuntimeShardsByteIdentical(t *testing.T) {
+	const workers = 7
+	for _, pol := range allPolicies {
+		wantRet, wantSt, wantTr, wantMt := runFibSharded(t, pol, workers, 1)
+		for _, shards := range []int{2, 4, 7} {
+			ret, st, tr, mt := runFibSharded(t, pol, workers, shards)
+			if !bytes.Equal(ret, wantRet) {
+				t.Errorf("%v shards=%d: root return differs", pol, shards)
+			}
+			if st.ExecTime != wantSt.ExecTime {
+				t.Errorf("%v shards=%d: ExecTime %v, want %v", pol, shards, st.ExecTime, wantSt.ExecTime)
+			}
+			if st.Work != wantSt.Work || st.Join != wantSt.Join || st.Fabric != wantSt.Fabric ||
+				st.Mem != wantSt.Mem || st.Stack != wantSt.Stack {
+				t.Errorf("%v shards=%d: run stats diverged from single-heap run", pol, shards)
+			}
+			if st.Engine != wantSt.Engine {
+				t.Errorf("%v shards=%d: engine stats %+v, want %+v", pol, shards, st.Engine, wantSt.Engine)
+			}
+			if !bytes.Equal(tr, wantTr) {
+				t.Errorf("%v shards=%d: trace JSON differs from single-heap run", pol, shards)
+			}
+			if !bytes.Equal(mt, wantMt) {
+				t.Errorf("%v shards=%d: metrics TSV differs from single-heap run", pol, shards)
+			}
+			if st.CrossShard == 0 {
+				t.Errorf("%v shards=%d: CrossShard = 0, want cross-node traffic visible", pol, shards)
+			}
+		}
+		if wantSt.CrossShard != 0 {
+			t.Errorf("%v: single-heap CrossShard = %d, want 0", pol, wantSt.CrossShard)
+		}
+	}
+}
+
+// TestShardsClampedToNodes: more shards than simulated nodes would leave
+// permanently empty heaps, so the config clamps. The engine reflects the
+// clamped value.
+func TestShardsClampedToNodes(t *testing.T) {
+	cfg := testConfig(ContGreedy, 3) // Uniform: 3 nodes
+	cfg.Shards = 8
+	rt := New(cfg)
+	if got := rt.Config().Shards; got != 3 {
+		t.Errorf("Config().Shards = %d, want clamp to 3 nodes", got)
+	}
+	if got := rt.Engine().Shards(); got != 3 {
+		t.Errorf("Engine().Shards() = %d, want 3", got)
+	}
+	if _, st := rt.Run(fibTask(8)); st.ExecTime <= 0 {
+		t.Error("clamped run did not execute")
+	}
+
+	cfg = testConfig(ContGreedy, 3)
+	cfg.Shards = 0 // default: classic single heap
+	if rt := New(cfg); rt.Engine().Shards() != 1 {
+		t.Errorf("Shards=0 built a %d-heap engine, want 1", rt.Engine().Shards())
+	}
+}
+
+// TestSampleSeriesStableAcrossShards covers the Fig. 7 sampler path, whose
+// ticks are engine callbacks on shard 0: the time series must not change
+// with the shard count.
+func TestSampleSeriesStableAcrossShards(t *testing.T) {
+	run := func(shards int) []Sample {
+		cfg := testConfig(ContGreedy, 5)
+		cfg.Shards = shards
+		cfg.Sample = 50 * sim.Microsecond
+		_, st := New(cfg).Run(fibTask(13))
+		return st.Series
+	}
+	want := run(1)
+	got := run(5)
+	if len(got) != len(want) {
+		t.Fatalf("series length %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

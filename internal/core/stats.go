@@ -19,15 +19,15 @@ type WorkerStats struct {
 	StealsFail      uint64
 	StealLatency    sim.Time // total latency of successful steals
 	StealSearchTime sim.Time // total time spent on steal attempts that failed
-	StolenBytes   uint64   // payload bytes of stolen tasks (stack or descriptor)
-	TaskCopyTime  sim.Time // total time spent copying stolen task payloads
-	BusyTime      sim.Time // time spent executing user work (Compute)
-	WaitQResumes  uint64   // threads resumed from the wait queue
-	JoinFastPath  uint64   // greedy-join die fast paths (parent popped)
-	JoinSlowPath  uint64   // greedy-join races (fetch-and-add taken)
-	Migrations    uint64   // threads that arrived at this worker
-	EntryAllocs   uint64
-	StackConflict uint64 // restores that fell back due to address conflicts
+	StolenBytes     uint64   // payload bytes of stolen tasks (stack or descriptor)
+	TaskCopyTime    sim.Time // total time spent copying stolen task payloads
+	BusyTime        sim.Time // time spent executing user work (Compute)
+	WaitQResumes    uint64   // threads resumed from the wait queue
+	JoinFastPath    uint64   // greedy-join die fast paths (parent popped)
+	JoinSlowPath    uint64   // greedy-join races (fetch-and-add taken)
+	Migrations      uint64   // threads that arrived at this worker
+	EntryAllocs     uint64
+	StackConflict   uint64 // restores that fell back due to address conflicts
 }
 
 // JoinStats aggregates outstanding-join accounting across a run.
@@ -68,6 +68,12 @@ type RunStats struct {
 	// dispatched, goroutine handoffs, completion callbacks) — the split-phase
 	// engine's cost model, not a simulated quantity. See sim.EngineStats.
 	Engine sim.EngineStats
+
+	// CrossShard counts events scheduled onto a different engine shard than
+	// the one dispatching — the cross-node traffic a node-sharded engine
+	// routes through its per-shard heaps (sim.Engine.CrossShard). Always 0
+	// under the classic single-heap engine. Host-side, like Engine.
+	CrossShard uint64
 
 	Series []Sample
 

@@ -205,7 +205,12 @@ func newContThread(w *Worker, fn TaskFunc, hdl Handle, parentID int64, isRoot bo
 // must have made the thread current on its worker.
 func (t *Thread) start() {
 	t.state = tRunning
-	t.proc = t.rt.eng.GoID("thread", t.id, t.main)
+	// Pin the proc to the shard owning the worker's node. Inheriting the
+	// spawn context would mis-file the proc whenever the spawning thread
+	// has itself migrated here from another node (its own proc keeps its
+	// birth shard for life — ownership is stable even as work moves).
+	t.proc = t.rt.eng.GoIDOn(t.rt.shardOf(t.w.rank), "thread", t.id, t.main)
+	t.rt.eng.AssertShard(t.proc, t.rt.shardOf(t.w.rank))
 }
 
 // main is the thread body: run the task function, then die according to the

@@ -26,21 +26,22 @@ import (
 
 // EngineStats, when non-nil, is invoked after each fork-join runtime job
 // finishes, with the job's coordinates, the DES engine's host-side counters
-// (see sim.EngineStats) and the job's host wall time — events/wall is the
-// engine's host throughput. Calls are serialized across pool workers, like
-// Progress. cmd/repro wires it to -engine-stats.
-var EngineStats func(c Coord, es sim.EngineStats, wall time.Duration)
+// (see sim.EngineStats), the number of events that crossed engine shards
+// (0 under the single-heap engine) and the job's host wall time —
+// events/wall is the engine's host throughput. Calls are serialized across
+// pool workers, like Progress. cmd/repro wires it to -engine-stats.
+var EngineStats func(c Coord, es sim.EngineStats, crossShard uint64, wall time.Duration)
 
 var engineStatsMu sync.Mutex
 
 // reportEngine invokes the EngineStats hook under its serializing mutex.
-func reportEngine(c Coord, es sim.EngineStats, wall time.Duration) {
+func reportEngine(c Coord, st core.RunStats, wall time.Duration) {
 	hook := EngineStats
 	if hook == nil {
 		return
 	}
 	engineStatsMu.Lock()
-	hook(c, es, wall)
+	hook(c, st.Engine, st.CrossShard, wall)
 	engineStatsMu.Unlock()
 }
 
@@ -105,6 +106,10 @@ type Options struct {
 	// struct is read-only configuration; per-run RNG state lives in each
 	// job's own Machine, so sharing one Perturb across grid points is safe.
 	Perturb *topo.Perturb
+	// Shards selects the engine's node-sharded event organization for every
+	// simulated run (core.Config.Shards). Results are byte-identical for
+	// every value; 0 or 1 keeps the classic single-heap engine.
+	Shards int
 
 	// obsClaimed marks an Options copy whose job claimed Obs at
 	// grid-construction time (see utsJob).
@@ -131,6 +136,7 @@ func runCfg(o Options, v Variant) core.Config {
 		RemoteFree: v.Free,
 		Seed:       o.Seed,
 		Perturb:    o.Perturb,
+		Shards:     o.Shards,
 		MaxTime:    1800 * sim.Second,
 	}
 }
@@ -441,7 +447,7 @@ func UTSOnce(o Options, system, tree string, workers, seqDepth int) Fig8Row {
 				Workers: workers, Seed: o.Seed}, rt, st)
 		}
 		reportEngine(Coord{Experiment: "uts", System: system, Tree: t.Name,
-			Workers: workers, Seed: o.Seed}, st.Engine, time.Since(start))
+			Workers: workers, Seed: o.Seed}, st, time.Since(start))
 	default:
 		nodes = t.Count()
 		root, expand := botExpand(t)

@@ -78,6 +78,12 @@ func New(eng *sim.Engine, mach *topo.Machine, nranks int) *Net {
 	}
 }
 
+// shardOf returns the engine shard owning rank's node: nodes map onto the
+// engine's per-node event heaps round-robin (0 for a single-heap engine).
+func (n *Net) shardOf(rank int) int {
+	return n.Mach.NodeOf(rank) % n.Eng.Shards()
+}
+
 // Send posts m from rank `from` to rank `to`. The sender pays only the
 // injection cost (eager send); the message lands in the destination
 // mailbox after the wire latency. Under fault injection a delivery attempt
@@ -110,7 +116,9 @@ func (n *Net) deliver(from, to, size int, m Msg, rto sim.Time) {
 				Task: -1, Peer: to, Size: int64(size),
 			})
 		}
-		n.Eng.After(rto, func() {
+		// Ack-timeout recovery runs on the sender's node: its shard owns
+		// the retransmission event.
+		n.Eng.AfterOn(n.shardOf(from), rto, func() {
 			n.st[from].Retransmits++
 			if n.Tr != nil {
 				n.Tr.Event(obs.Event{
@@ -133,7 +141,10 @@ func (n *Net) deliver(from, to, size int, m Msg, rto sim.Time) {
 			Task: -1, Peer: to, Size: int64(size),
 		})
 	}
-	n.Eng.After(delay, func() {
+	// The mailbox append is the cross-shard routing point of the two-sided
+	// layer: the destination mailbox belongs to the receiver's node, so the
+	// delivery event lives on that node's shard.
+	n.Eng.AfterOn(n.shardOf(to), delay, func() {
 		n.boxes[to] = append(n.boxes[to], m)
 	})
 }

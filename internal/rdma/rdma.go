@@ -190,6 +190,22 @@ func (f *Fabric) AllocStatic(rank, size int) Addr { return f.segs[rank].allocSta
 // Free returns a block previously obtained from Alloc to rank's free list.
 func (f *Fabric) Free(rank int, addr Addr, size int) { f.segs[rank].free(addr, size) }
 
+// shardOf returns the engine shard owning rank's node: nodes map onto the
+// engine's per-node event heaps round-robin (0 for a single-heap engine).
+func (f *Fabric) shardOf(rank int32) int {
+	return f.Mach.NodeOf(int(rank)) % f.Eng.Shards()
+}
+
+// sched schedules a remote op's completion event on the shard that owns the
+// target rank's node — the single cross-shard routing seam of the fabric.
+// Every remote completion (chain link or fire-and-forget callback) goes
+// through here; the memory access it performs belongs to the target node,
+// so that is the heap the event must live on. On a single-heap engine this
+// is exactly Engine.After.
+func (f *Fabric) sched(to int32, d sim.Time, fn func()) {
+	f.Eng.AfterOn(f.shardOf(to), d, fn)
+}
+
 // local reports whether the op is a same-rank access, counting it if so.
 // Self-accesses carry no network latency and complete inline.
 func (f *Fabric) local(from int, to int32) bool {
@@ -219,7 +235,7 @@ func (f *Fabric) GetAsync(c *sim.Chain, from int, loc Loc, dst []byte, then func
 	f.st[from].Gets++
 	f.st[from].BytesIn += uint64(len(dst))
 	delay := f.remote(from, loc.Rank, obs.KindRDMAGet, len(dst), false)
-	c.Then(delay, func() {
+	f.sched(loc.Rank, delay, func() {
 		copy(dst, f.segs[loc.Rank].bytes(loc.Addr, len(dst)))
 		then()
 	})
@@ -242,7 +258,7 @@ func (f *Fabric) PutAsync(c *sim.Chain, from int, loc Loc, src []byte, then func
 	f.st[from].Puts++
 	f.st[from].BytesOut += uint64(len(src))
 	delay := f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), false)
-	c.Then(delay, func() {
+	f.sched(loc.Rank, delay, func() {
 		copy(f.segs[loc.Rank].bytes(loc.Addr, len(src)), src)
 		then()
 	})
@@ -258,7 +274,7 @@ func (f *Fabric) GetInt64Async(c *sim.Chain, from int, loc Loc, then func(v int6
 	f.st[from].Gets++
 	f.st[from].BytesIn += 8
 	delay := f.remote(from, loc.Rank, obs.KindRDMAGet, 8, false)
-	c.Then(delay, func() {
+	f.sched(loc.Rank, delay, func() {
 		then(int64(binary.LittleEndian.Uint64(f.segs[loc.Rank].bytes(loc.Addr, 8))))
 	})
 }
@@ -274,7 +290,7 @@ func (f *Fabric) PutInt64Async(c *sim.Chain, from int, loc Loc, v int64, then fu
 	f.st[from].Puts++
 	f.st[from].BytesOut += 8
 	delay := f.remote(from, loc.Rank, obs.KindRDMAPut, 8, false)
-	c.Then(delay, func() {
+	f.sched(loc.Rank, delay, func() {
 		binary.LittleEndian.PutUint64(f.segs[loc.Rank].bytes(loc.Addr, 8), uint64(v))
 		then()
 	})
@@ -297,7 +313,7 @@ func (f *Fabric) FetchAddAsync(c *sim.Chain, from int, loc Loc, delta int64, the
 	}
 	f.st[from].Atomics++
 	delay := f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, true)
-	c.Then(delay, func() { then(apply()) })
+	f.sched(loc.Rank, delay, func() { then(apply()) })
 }
 
 // CASAsync atomically compares the word at loc with old and, if equal,
@@ -318,7 +334,7 @@ func (f *Fabric) CASAsync(c *sim.Chain, from int, loc Loc, old, new int64, then 
 	}
 	f.st[from].Atomics++
 	delay := f.remote(from, loc.Rank, obs.KindRDMAAtomic, 8, true)
-	c.Then(delay, func() { then(apply()) })
+	f.sched(loc.Rank, delay, func() { then(apply()) })
 }
 
 // Get copies the remote variable at loc into dst (len(dst) bytes, at most
@@ -360,7 +376,7 @@ func (f *Fabric) PutNB(p *sim.Proc, from int, loc Loc, src []byte) {
 	f.st[from].BytesOut += uint64(len(src))
 	data := append([]byte(nil), src...)
 	delay := f.remote(from, loc.Rank, obs.KindRDMAPut, len(src), false)
-	f.Eng.After(delay, func() {
+	f.sched(loc.Rank, delay, func() {
 		copy(f.segs[loc.Rank].bytes(loc.Addr, len(data)), data)
 	})
 	p.Sleep(InjectCost)

@@ -1,7 +1,8 @@
 package sim
 
-// eventHeap is a binary min-heap of events ordered by (time, seq). It is
-// implemented directly on a slice (rather than via container/heap) to avoid
+// eventHeap is a binary min-heap of events ordered by (time, seq) — or, in a
+// keyed engine (see sharded.go), by (time, lineage key). It is implemented
+// directly on a slice (rather than via container/heap) to avoid
 // interface-call overhead on the simulator's hottest path.
 type eventHeap []event
 
@@ -9,7 +10,24 @@ func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
+	if h[i].key != nil && h[j].key != nil {
+		return keyCmp(h[i].key, h[j].key) < 0
+	}
 	return h[i].seq < h[j].seq
+}
+
+// beats reports whether h's top event precedes o's top event — the shard
+// merge comparison of a multi-heap engine. Both heaps must be non-empty.
+// Heaps of one engine either all carry keys or none do, so the mixed case
+// cannot arise within a merge.
+func (h eventHeap) beats(o eventHeap) bool {
+	if h[0].t != o[0].t {
+		return h[0].t < o[0].t
+	}
+	if h[0].key != nil && o[0].key != nil {
+		return keyCmp(h[0].key, o[0].key) < 0
+	}
+	return h[0].seq < o[0].seq
 }
 
 func (h *eventHeap) push(ev event) {

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the conservative-parallel (windowed) execution mode:
+// a Sharded engine runs N per-shard Engines on their own goroutines,
+// advancing in lock-step virtual-time windows of one lookahead L — the
+// machine's minimum cross-node latency (topo.MinCrossNodeLatency). Within a
+// window [W, W+L) no cross-shard event issued inside the window can land
+// inside it (every cross-shard delay is >= L), so the shards are
+// independent and may execute concurrently. Cross-shard events travel
+// through per-shard outboxes flushed at the window barrier.
+//
+// # Determinism: lineage keys
+//
+// Concurrency alone would only give per-shard determinism; to be
+// byte-identical to the *serial* engine — including the order of same-tick
+// ties between events that originated on different shards — every event
+// carries a lineage key reconstructing its serial scheduling instant:
+//
+//	key = (t_sched, parent, idx)
+//
+// where t_sched is the virtual time at which the event was scheduled,
+// parent is the key of the event during whose dispatch the schedule call
+// happened (nil for setup-time schedules, which instead carry a group-wide
+// root index in program order), and idx is the schedule-call index within
+// that dispatch. The serial engine dispatches same-time events in seq
+// (scheduling) order; scheduling order is exactly "dispatch order of the
+// scheduling events, then call index", and dispatch order is (t, seq)
+// recursively — so comparing (t_sched, parent-lineage, idx) reproduces the
+// serial seq order without any shared counter. keyCmp resolves as soon as
+// scheduling times diverge; since times are non-decreasing along a lineage
+// and root indices are globally unique, the order is total.
+//
+// Each keyed engine orders its heap by key (see eventHeap.less), so events
+// injected at a barrier interleave with locally scheduled ones exactly as
+// they would have in the serial engine, and FuzzShardWindow checks the
+// whole construction against the serial engine as an oracle.
+//
+// Cost: keys retain their ancestor chain, ~48 host bytes per live lineage
+// node; the ordered multi-heap mode inside Engine has no such cost, which
+// is one reason core runtimes use that mode instead (the other: their
+// zero-latency global couplings — done flags, host-pointer steals — are
+// incompatible with a nonzero lookahead).
+
+// knode is one lineage-key node. t is the virtual time of the scheduling
+// call; parent the key of the dispatch that made it (nil for setup); idx
+// the schedule-call index within that dispatch, or the group-wide root
+// index when parent is nil.
+type knode struct {
+	t      Time
+	parent *knode
+	idx    uint64
+}
+
+// keyCmp orders two lineage keys by their serial scheduling instants. It is
+// total on distinct keys: recursion terminates at diverging times, at a
+// shared parent (sibling idx), or at the roots (globally unique idx).
+func keyCmp(a, b *knode) int {
+	for {
+		if a == b {
+			return 0
+		}
+		// A setup-time schedule precedes every dispatch-time schedule.
+		if a == nil {
+			return -1
+		}
+		if b == nil {
+			return 1
+		}
+		if a.t != b.t {
+			if a.t < b.t {
+				return -1
+			}
+			return 1
+		}
+		if a.parent == b.parent {
+			if a.idx < b.idx {
+				return -1
+			}
+			return 1
+		}
+		a, b = a.parent, b.parent
+	}
+}
+
+// routed is one cross-shard event waiting in an outbox for the next window
+// barrier.
+type routed struct {
+	dst int
+	t   Time
+	key *knode
+	fn  func()
+}
+
+// Sharded executes a shard-confined program on n concurrent engines in
+// conservative lock-step windows (see the file comment). Procs and local
+// events belong to exactly one shard; the only cross-shard interaction is
+// RouteAfter, whose delay must be at least the lookahead. Setup (Go/GoID on
+// the shard engines, via Shard or the Go helper) must happen before Run and
+// always on the caller's goroutine; Run drives all shards and returns like
+// Engine.Run, re-raising at most one ProcPanic after tearing every shard
+// down.
+type Sharded struct {
+	shards  []*Engine
+	look    Time
+	rootSeq uint64
+	out     [][]routed // per-source-shard outboxes (only [src] touched by shard src)
+}
+
+// NewSharded returns a windowed group of n keyed engines with the given
+// lookahead (the minimum cross-shard event delay; must be positive).
+func NewSharded(n int, lookahead Time) *Sharded {
+	if n < 1 {
+		panic("sim: NewSharded needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewSharded needs a positive lookahead")
+	}
+	s := &Sharded{
+		shards: make([]*Engine, n),
+		look:   lookahead,
+		out:    make([][]routed, n),
+	}
+	for i := range s.shards {
+		e := NewEngine()
+		e.keyed = true
+		e.rootSeq = &s.rootSeq
+		s.shards[i] = e
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Lookahead returns the window width.
+func (s *Sharded) Lookahead() Time { return s.look }
+
+// Shard returns shard i's engine, for setup-time spawns and queries.
+// During Run a shard engine must only be touched from its own procs and
+// callbacks.
+func (s *Sharded) Shard(i int) *Engine { return s.shards[i] }
+
+// Go spawns a proc on shard i at setup time.
+func (s *Sharded) Go(i int, name string, body func(p *Proc)) *Proc {
+	return s.shards[i].Go(name, body)
+}
+
+// RouteAfter schedules fn to run on shard dst, d nanoseconds from shard
+// src's current time — the cross-shard counterpart of After. It must be
+// called from within shard src's execution (a proc or callback). A
+// cross-shard delay below the lookahead would land inside the current
+// window and corrupt the conservative order, so it fails fast.
+func (s *Sharded) RouteAfter(src, dst int, d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e := s.shards[src]
+	if dst == src {
+		e.After(d, fn)
+		return
+	}
+	if d < s.look {
+		panic(fmt.Sprintf("sim: cross-shard delay %v below lookahead %v (shard %d -> %d)", d, s.look, src, dst))
+	}
+	// The key is allocated on the source engine at the source's scheduling
+	// instant, exactly as the serial engine would have sequenced the call.
+	s.out[src] = append(s.out[src], routed{dst: dst, t: e.now + d, key: e.nextKey(), fn: fn})
+}
+
+// inject flushes every outbox into the destination heaps. Injection order
+// is irrelevant — the heaps order same-time events by lineage key — but the
+// loop is deterministic anyway. Called only at barriers (no shard running).
+func (s *Sharded) inject() {
+	for src := range s.out {
+		for _, r := range s.out[src] {
+			e := s.shards[r.dst]
+			if r.t < e.now {
+				panic(fmt.Sprintf("sim: routed event at %v behind shard %d clock %v", r.t, r.dst, e.now))
+			}
+			e.seq++
+			e.heaps[0].push(event{t: r.t, seq: e.seq, fn: r.fn, key: r.key})
+		}
+		s.out[src] = s.out[src][:0]
+	}
+}
+
+// nextTime returns the earliest pending event time across all shards, or
+// (0, false) when every heap is empty.
+func (s *Sharded) nextTime() (Time, bool) {
+	var w Time
+	found := false
+	for _, e := range s.shards {
+		if len(e.heaps[0]) == 0 {
+			continue
+		}
+		if t := e.heaps[0].peek().t; !found || t < w {
+			w, found = t, true
+		}
+	}
+	return w, found
+}
+
+// Run executes windows until every shard's queue is empty or the next event
+// lies beyond the until horizon (Forever for none). Semantics mirror
+// Engine.Run: with a horizon and events remaining beyond it, every shard's
+// clock is advanced exactly to the horizon and until is returned; otherwise
+// the time of the last dispatched event is returned. A ProcPanic on any
+// shard (lowest failure time wins, then lowest shard) tears all shards down
+// and is re-raised exactly once on the caller.
+func (s *Sharded) Run(until Time) Time {
+	for {
+		s.inject()
+		w, ok := s.nextTime()
+		if !ok {
+			return s.Now()
+		}
+		if until >= 0 && w > until {
+			for _, e := range s.shards {
+				if e.now < until {
+					e.now = until
+				}
+			}
+			return until
+		}
+		end := w + s.look // exclusive window end
+		if until >= 0 && end > until+1 {
+			end = until + 1
+		}
+		s.runWindow(end - 1)
+	}
+}
+
+// runWindow runs every shard concurrently up to the inclusive horizon and
+// propagates at most one shard failure.
+func (s *Sharded) runWindow(horizon Time) {
+	if len(s.shards) == 1 {
+		s.shards[0].Run(horizon) // panics propagate directly, like Engine.Run
+		return
+	}
+	fails := make([]*ProcPanic, len(s.shards))
+	var wg sync.WaitGroup
+	for i, e := range s.shards {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pp, ok := r.(*ProcPanic)
+					if !ok {
+						// Engine.Run wraps every simulation panic; anything
+						// else is a harness bug — keep the shape uniform.
+						pp = &ProcPanic{Proc: fmt.Sprintf("shard%d", i), T: e.now, Value: r}
+					}
+					fails[i] = pp
+				}
+			}()
+			e.Run(horizon)
+		}(i, e)
+	}
+	wg.Wait()
+	var chosen *ProcPanic
+	for _, pp := range fails {
+		if pp != nil && (chosen == nil || pp.T < chosen.T) {
+			chosen = pp // shard order breaks T ties: first failing shard wins
+		}
+	}
+	if chosen != nil {
+		s.Shutdown()
+		panic(chosen)
+	}
+}
+
+// Now returns the latest shard clock.
+func (s *Sharded) Now() Time {
+	var t Time
+	for _, e := range s.shards {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// Pending returns the number of queued events across all shards, including
+// cross-shard events still waiting in outboxes.
+func (s *Sharded) Pending() int {
+	n := 0
+	for _, e := range s.shards {
+		n += e.Pending()
+	}
+	for _, box := range s.out {
+		n += len(box)
+	}
+	return n
+}
+
+// Live returns the number of live procs across all shards.
+func (s *Sharded) Live() int {
+	n := 0
+	for _, e := range s.shards {
+		n += e.Live()
+	}
+	return n
+}
+
+// Deadlocked reports whether no shard can make progress while parked procs
+// remain somewhere.
+func (s *Sharded) Deadlocked() bool {
+	parked := 0
+	for _, e := range s.shards {
+		parked += e.parked
+	}
+	return s.Pending() == 0 && parked > 0
+}
+
+// Stats returns the group's host-side counters: the per-shard sums, which
+// equal the serial engine's counters for the same program.
+func (s *Sharded) Stats() EngineStats {
+	var t EngineStats
+	for _, e := range s.shards {
+		t.Events += e.stats.Events
+		t.Handoffs += e.stats.Handoffs
+		t.Callbacks += e.stats.Callbacks
+	}
+	return t
+}
+
+// Shutdown tears down every shard (in shard order, each in reverse proc
+// creation order) and drops any cross-shard events still in flight. Must be
+// called from outside Run.
+func (s *Sharded) Shutdown() {
+	for _, e := range s.shards {
+		e.Shutdown()
+	}
+	for i := range s.out {
+		s.out[i] = nil
+	}
+}

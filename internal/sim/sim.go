@@ -66,6 +66,18 @@
 // events, handoffs and callbacks a run executed, so throughput (events/sec)
 // and the handoff-avoidance ratio are directly measurable.
 //
+// # Sharding
+//
+// Two sharding layers exist on top of the core engine. NewEngineShards(n)
+// partitions one engine's event queue into n per-node heaps merged
+// deterministically at dispatch — byte-identical to the serial engine by
+// construction, with per-shard traffic counters (ShardStats) exposing the
+// cross-node event flow. Sharded (see sharded.go) runs n engines on their
+// own goroutines in conservative lock-step windows of one cross-node
+// lookahead, for shard-confined programs whose only cross-shard interaction
+// is RouteAfter; lineage keys make its results byte-identical to the serial
+// engine as well.
+//
 // # Failure propagation
 //
 // A panic inside a proc body is captured and re-raised as a *ProcPanic
@@ -180,45 +192,92 @@ func (pp *ProcPanic) String() string {
 // EngineStats counts the host-side work a run performed. All counters are
 // deterministic: they depend only on the simulated program, never on host
 // scheduling, so they are safe to report alongside virtual-time results.
+// The counters are independent of the engine's shard count: the same
+// program dispatches the same events in the same order at any -shards N.
 type EngineStats struct {
 	Events    uint64 // events dispatched by Run
 	Handoffs  uint64 // goroutine handoffs to procs (the expensive path)
 	Callbacks uint64 // engine-loop callbacks executed (incl. chain links)
 }
 
+// ShardStats counts per-shard event traffic of a multi-heap engine. Inbound
+// counts events scheduled onto the shard from a different shard's context —
+// the cross-node traffic a windowed parallel execution would exchange
+// through per-pair queues. Kept separate from EngineStats so the latter
+// stays byte-identical across shard counts.
+type ShardStats struct {
+	Events  uint64 // events dispatched from this shard's heap
+	Inbound uint64 // events scheduled onto this shard from another shard
+}
+
 // event is a single entry in the engine's priority queue: either a proc
 // wake-up (p != nil) or a callback (fn != nil). Events are plain values in
-// the slice-backed heap, so scheduling allocates nothing.
+// the slice-backed heap, so scheduling allocates nothing. key is non-nil
+// only in keyed engines (the windowed sharded mode, see sharded.go).
 type event struct {
 	t   Time
 	seq uint64
 	p   *Proc
 	fn  func()
+	key *knode
 }
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use: Run, Shutdown, Go, At and After must be called either
 // from the goroutine that owns the engine (while Run is not executing a
 // proc) or from within a running proc.
+//
+// An engine built with NewEngineShards(n) partitions its event queue into n
+// per-shard heaps (one per simulated node); dispatch pops the global
+// minimum across heaps by (t, seq), so event order — and therefore every
+// result, trace and statistic — is byte-identical to the single-heap engine
+// at any shard count. Events inherit the shard of the context that
+// schedules them unless routed explicitly (AfterOn, GoIDOn); proc wake-ups
+// always land on the proc's own shard, pinning proc↔shard ownership.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	current *Proc
-	ready   *Proc // proc to hand control to when the current callback returns
-	live    *Proc // head of the intrusive doubly-linked list of live procs
-	nlive   int
-	parked  int
-	stopped bool
-	fail    *ProcPanic   // set by a panicking proc, re-raised by Run
-	trace   func(string) // optional debug trace hook
-	stats   EngineStats
-	chains  *Chain // free list of pooled Chain objects
+	now      Time
+	seq      uint64
+	heaps    []eventHeap // per-shard event queues; len >= 1
+	curShard int         // shard of the event being dispatched (0 outside Run)
+	current  *Proc
+	ready    *Proc // proc to hand control to when the current callback returns
+	live     *Proc // head of the intrusive doubly-linked list of live procs
+	nlive    int
+	parked   int
+	stopped  bool
+	fail     *ProcPanic   // set by a panicking proc, re-raised by Run
+	trace    func(string) // optional debug trace hook
+	stats    EngineStats
+	sstats   []ShardStats
+	chains   *Chain // free list of pooled Chain objects
+
+	// Keyed lineage mode (windowed sharding, see sharded.go): every event
+	// carries a lineage key encoding its serial scheduling instant, and
+	// heaps order same-time events by key instead of seq. rootSeq is shared
+	// across a shard group so setup-time keys are globally ordered.
+	keyed   bool
+	rootSeq *uint64
+	curKey  *knode // key of the event being dispatched (nil outside Run)
+	curIdx  uint64 // schedule-call index within the current dispatch
 }
 
-// NewEngine returns an empty engine with the clock at 0.
+// NewEngine returns an empty engine with the clock at 0 and a single event
+// heap.
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineShards(1)
+}
+
+// NewEngineShards returns an empty engine whose event queue is partitioned
+// into shards per-node heaps, merged deterministically at dispatch (see the
+// Engine doc). shards <= 1 yields the plain single-heap engine.
+func NewEngineShards(shards int) *Engine {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Engine{
+		heaps:  make([]eventHeap, shards),
+		sstats: make([]ShardStats, shards),
+	}
 }
 
 // Now returns the current virtual time.
@@ -232,11 +291,51 @@ func (e *Engine) Live() int { return e.nlive }
 // a chain completion).
 func (e *Engine) Parked() int { return e.parked }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued events across all shards.
+func (e *Engine) Pending() int {
+	n := 0
+	for i := range e.heaps {
+		n += len(e.heaps[i])
+	}
+	return n
+}
 
 // Stats returns the engine's host-side work counters.
 func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Shards returns the number of per-node event heaps (1 for a plain engine).
+func (e *Engine) Shards() int { return len(e.heaps) }
+
+// ShardStats returns the per-shard dispatch and cross-shard traffic
+// counters. The returned slice is a snapshot.
+func (e *Engine) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(e.sstats))
+	copy(out, e.sstats)
+	return out
+}
+
+// CrossShard returns the total number of events scheduled across shard
+// boundaries — the traffic a windowed parallel execution would route
+// through per-pair queues.
+func (e *Engine) CrossShard() uint64 {
+	var n uint64
+	for i := range e.sstats {
+		n += e.sstats[i].Inbound
+	}
+	return n
+}
+
+// AssertShard panics unless p is owned by the given shard. Runtimes use it
+// to enforce that a proc's node assignment is stable for the whole run:
+// work migrates between nodes, proc↔shard ownership never does — a
+// violation would corrupt window order in a parallel execution, so it must
+// fail fast instead.
+func (e *Engine) AssertShard(p *Proc, shard int) {
+	if p.shard != shard {
+		panic(fmt.Sprintf("sim: proc %q owned by shard %d, expected %d — proc↔shard ownership must be stable",
+			p.Name(), p.shard, shard))
+	}
+}
 
 // Stop makes Run return after the current event completes. It may be called
 // from inside a proc or callback.
@@ -249,36 +348,73 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // Pass nil to disable.
 func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
 
-func (e *Engine) schedule(t Time, p *Proc, fn func()) {
+// nextKey allocates the lineage key of the event being scheduled: a child
+// of the current dispatch's key, or (outside any dispatch) a root keyed by
+// the group-wide setup counter. Called only in keyed engines.
+func (e *Engine) nextKey() *knode {
+	if e.curKey != nil {
+		k := &knode{t: e.now, parent: e.curKey, idx: e.curIdx}
+		e.curIdx++
+		return k
+	}
+	k := &knode{t: e.now, idx: *e.rootSeq}
+	*e.rootSeq++
+	return k
+}
+
+func (e *Engine) schedule(t Time, shard int, p *Proc, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{t: t, seq: e.seq, p: p, fn: fn})
+	var k *knode
+	if e.keyed {
+		k = e.nextKey()
+	}
+	if shard != e.curShard {
+		e.sstats[shard].Inbound++
+	}
+	e.heaps[shard].push(event{t: t, seq: e.seq, p: p, fn: fn, key: k})
 }
 
 // At schedules fn to run on the engine goroutine at virtual time t (which
 // must not be in the past).
-func (e *Engine) At(t Time, fn func()) { e.schedule(t, nil, fn) }
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, e.curShard, nil, fn) }
 
 // After schedules fn to run on the engine goroutine d nanoseconds from now.
+// The event lands on the shard of the scheduling context.
 func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e.schedule(e.now+d, nil, fn)
+	e.schedule(e.now+d, e.curShard, nil, fn)
+}
+
+// AfterOn is After with an explicit target shard — the routing seam for
+// cross-node operations (rdma completions, message deliveries): the
+// completion event belongs to the shard owning the target rank's node.
+// Out-of-range shards fail fast.
+func (e *Engine) AfterOn(shard int, d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	if shard < 0 || shard >= len(e.heaps) {
+		panic(fmt.Sprintf("sim: AfterOn shard %d out of range [0,%d)", shard, len(e.heaps)))
+	}
+	e.schedule(e.now+d, shard, nil, fn)
 }
 
 // Go creates a new proc that will begin executing body at the current
 // virtual time (after already-queued events at this time). The name is used
-// in diagnostics only.
+// in diagnostics only. The proc is owned by the shard of the spawning
+// context.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
-	return e.spawn(0, name, "", 0, body)
+	return e.spawn(0, e.curShard, name, "", 0, body)
 }
 
 // GoAfter is Go with a start delay of d virtual nanoseconds.
 func (e *Engine) GoAfter(d Time, name string, body func(p *Proc)) *Proc {
-	return e.spawn(d, name, "", 0, body)
+	return e.spawn(d, e.curShard, name, "", 0, body)
 }
 
 // GoID is Go with a lazily formatted name prefix+id (e.g. "worker", 3 →
@@ -286,10 +422,19 @@ func (e *Engine) GoAfter(d Time, name string, body func(p *Proc)) *Proc {
 // failure diagnostics), keeping fmt off the spawn path of runs that create
 // one proc per simulated thread.
 func (e *Engine) GoID(prefix string, id int64, body func(p *Proc)) *Proc {
-	return e.spawn(0, "", prefix, id, body)
+	return e.spawn(0, e.curShard, "", prefix, id, body)
 }
 
-func (e *Engine) spawn(d Time, name, prefix string, id int64, body func(p *Proc)) *Proc {
+// GoIDOn is GoID with explicit shard placement, used at setup time to pin
+// each simulated node's procs to its shard. Out-of-range shards fail fast.
+func (e *Engine) GoIDOn(shard int, prefix string, id int64, body func(p *Proc)) *Proc {
+	if shard < 0 || shard >= len(e.heaps) {
+		panic(fmt.Sprintf("sim: GoIDOn shard %d out of range [0,%d)", shard, len(e.heaps)))
+	}
+	return e.spawn(0, shard, "", prefix, id, body)
+}
+
+func (e *Engine) spawn(d Time, shard int, name, prefix string, id int64, body func(p *Proc)) *Proc {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
@@ -298,6 +443,7 @@ func (e *Engine) spawn(d Time, name, prefix string, id int64, body func(p *Proc)
 		name:   name,
 		prefix: prefix,
 		id:     id,
+		shard:  shard,
 		ch:     make(chan wakeSignal),
 		state:  StateNew,
 	}
@@ -331,7 +477,7 @@ func (e *Engine) spawn(d Time, name, prefix string, id int64, body func(p *Proc)
 		p.ch <- wakeDone
 	}()
 	p.state = StateScheduled
-	e.schedule(e.now+d, p, nil)
+	e.schedule(e.now+d, p.shard, p, nil)
 	return p
 }
 
@@ -384,20 +530,42 @@ func (e *Engine) Run(until Time) Time {
 			panic(pp)
 		}
 	}()
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events.peek()
+	for !e.stopped {
+		// Merge point: pop the global minimum across the per-shard heaps.
+		// The comparison is (t, seq) — or (t, lineage key) in keyed mode —
+		// so the dispatch order is identical to a single-heap engine.
+		best := -1
+		for i := range e.heaps {
+			if len(e.heaps[i]) == 0 {
+				continue
+			}
+			if best < 0 || e.heaps[i].beats(e.heaps[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ev := e.heaps[best].peek()
 		if until >= 0 && ev.t > until {
 			e.now = until
+			e.curKey = nil
 			return e.now
 		}
-		e.events.pop()
+		e.heaps[best].pop()
 		e.now = ev.t
+		e.curShard = best
+		if e.keyed {
+			e.curKey = ev.key
+			e.curIdx = 0
+		}
 		if ev.fn != nil {
 			if e.trace != nil {
 				e.trace(fmt.Sprintf("t=%v callback", e.now))
 			}
 			e.stats.Events++
 			e.stats.Callbacks++
+			e.sstats[best].Events++
 			ev.fn()
 			if e.ready != nil {
 				// A chain completed inside the callback: hand the issuing
@@ -419,9 +587,11 @@ func (e *Engine) Run(until Time) Time {
 				e.trace(fmt.Sprintf("t=%v run %q", e.now, p.Name()))
 			}
 			e.stats.Events++
+			e.sstats[best].Events++
 			e.runProc(p)
 		}
 	}
+	e.curKey = nil
 	return e.now
 }
 
@@ -430,6 +600,10 @@ func (e *Engine) Run(until Time) Time {
 func (e *Engine) runProc(p *Proc) {
 	p.state = StateRunning
 	e.current = p
+	// The proc may be resumed from an event on a foreign shard (a completion
+	// callback routed to the target node's heap finishing the proc's chain).
+	// Anything the proc schedules while running belongs to its own shard.
+	e.curShard = p.shard
 	e.stats.Handoffs++
 	p.ch <- wakeRun
 	<-p.ch
@@ -447,7 +621,7 @@ func (e *Engine) runProc(p *Proc) {
 // Deadlocked reports whether the simulation has reached a state with no
 // pending events but live parked procs — i.e. progress is impossible.
 func (e *Engine) Deadlocked() bool {
-	return len(e.events) == 0 && e.parked > 0
+	return e.Pending() == 0 && e.parked > 0
 }
 
 // Shutdown force-kills all live procs so their goroutines exit. It must be
@@ -468,7 +642,9 @@ func (e *Engine) Shutdown() {
 			panic(fmt.Sprintf("sim: Shutdown with proc %q in state %v", p.Name(), p.state))
 		}
 	}
-	e.events = nil
+	for i := range e.heaps {
+		e.heaps[i] = nil
+	}
 	e.chains = nil
 	e.ready = nil
 }
@@ -488,6 +664,7 @@ type Proc struct {
 	ch chan wakeSignal
 
 	prefix             string
+	shard              int // owning shard; stable for the proc's lifetime
 	state              ProcState
 	prevLive, nextLive *Proc
 }
@@ -510,6 +687,9 @@ func (p *Proc) Now() Time { return p.eng.now }
 // State returns the proc's lifecycle state.
 func (p *Proc) State() ProcState { return p.state }
 
+// Shard returns the shard that owns this proc (0 in a single-heap engine).
+func (p *Proc) Shard() int { return p.shard }
+
 // yield returns control to the engine and blocks until the next wake.
 func (p *Proc) yield() {
 	p.ch <- wakeDone
@@ -527,7 +707,7 @@ func (p *Proc) Sleep(d Time) {
 		panic(fmt.Sprintf("sim: Sleep called on proc %q that is not current", p.Name()))
 	}
 	p.state = StateScheduled
-	p.eng.schedule(p.eng.now+d, p, nil)
+	p.eng.schedule(p.eng.now+d, p.shard, p, nil)
 	p.yield()
 	p.state = StateRunning
 }
@@ -558,7 +738,7 @@ func (e *Engine) WakeAfter(p *Proc, d Time) {
 	}
 	e.parked--
 	p.state = StateScheduled
-	e.schedule(e.now+d, p, nil)
+	e.schedule(e.now+d, p.shard, p, nil)
 }
 
 // Chain is a split-phase completion chain: a state machine of timed

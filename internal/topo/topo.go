@@ -135,6 +135,17 @@ func Uniform(lat sim.Time) *Machine {
 // NodeOf returns the node index hosting the given rank.
 func (m *Machine) NodeOf(rank int) int { return rank / m.CoresPerNode }
 
+// MinCrossNodeLatency returns a lower bound on the virtual-time delay of
+// any event one node can cause on another — the lookahead of a conservative
+// node-sharded execution (one window of sim.Sharded, the routing contract
+// of the per-node event heaps). The bound is the inter-node base latency:
+// every cross-node path goes through OneSided/OpDelay, whose size term is
+// non-negative, whose atomic surcharge only adds, and whose perturbation
+// model clamps the jittered delay to at least the base (see
+// Machine.OpDelay) — so no cross-node operation, perturbed or not, can
+// complete in less than InterLatency.
+func (m *Machine) MinCrossNodeLatency() sim.Time { return m.InterLatency }
+
 // SameNode reports whether two ranks share a node.
 func (m *Machine) SameNode(a, b int) bool { return m.NodeOf(a) == m.NodeOf(b) }
 

@@ -101,3 +101,40 @@ func TestSteaLatencyCalibration(t *testing.T) {
 		t.Errorf("modelled steal latency = %v, want 15-45us (paper: ~28.8us)", total)
 	}
 }
+
+// TestMinCrossNodeLatencyIsALowerBound validates the lookahead contract a
+// node-sharded conservative execution relies on: no cross-node operation —
+// any size, atomic or not, perturbed or not — may complete in less virtual
+// time than MinCrossNodeLatency.
+func TestMinCrossNodeLatencyIsALowerBound(t *testing.T) {
+	pb := &Perturb{LatencyJitter: 0.9, DegradedLinkFrac: 0.5, DegradedFactor: 3, StragglerFrac: 0.5, StragglerFactor: 2, Seed: 11}
+	for _, mk := range []func() *Machine{ITOA, WisteriaO, func() *Machine { return Uniform(500) }} {
+		for _, perturbed := range []bool{false, true} {
+			m := mk()
+			if perturbed {
+				m.Perturb = pb
+			}
+			look := m.MinCrossNodeLatency()
+			if look != m.InterLatency {
+				t.Fatalf("%s: MinCrossNodeLatency = %v, want InterLatency %v", m.Name, look, m.InterLatency)
+			}
+			if look <= 0 {
+				t.Fatalf("%s: lookahead must be positive, got %v", m.Name, look)
+			}
+			for _, size := range []int{0, 8, 64, 4096} {
+				for _, atomic := range []bool{false, true} {
+					for to := m.CoresPerNode; to < 4*m.CoresPerNode; to += m.CoresPerNode/2 + 1 {
+						if m.SameNode(0, to) {
+							continue
+						}
+						d, _ := m.OpDelay(0, to, size, atomic)
+						if d < look {
+							t.Errorf("%s perturbed=%v: OpDelay(0,%d,%d,%v) = %v below lookahead %v",
+								m.Name, perturbed, to, size, atomic, d, look)
+						}
+					}
+				}
+			}
+		}
+	}
+}
