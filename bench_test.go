@@ -13,6 +13,7 @@ package contsteal
 //	efficiency   parallel efficiency vs the modelled ideal
 //	Mnodes/s     UTS throughput in simulated time
 import (
+	"fmt"
 	"testing"
 
 	"contsteal/internal/bot"
@@ -381,6 +382,39 @@ func BenchmarkAblationIsoAddress(b *testing.B) { benchAblationStackScheme(b, cor
 // ---------------------------------------------------------------------------
 // Sharded engine — host throughput of the windowed conservative execution
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Serving — open-system saturation sweep (EXPERIMENTS.md "Serving")
+// ---------------------------------------------------------------------------
+
+// benchServe runs one open-system cell — Poisson arrivals at the given
+// offered-load multiplier, always-admit — and reports the virtual p99
+// sojourn and goodput alongside host ns/op. Past the knee (load 2) the
+// goodput plateaus at service capacity while p99 grows with the backlog.
+func benchServe(b *testing.B, system string, load float64) {
+	o := experiments.Options{Machine: "itoa", Workers: 18, Seed: 11}
+	p := experiments.ServeParams{Requests: 96}
+	var last experiments.ServeRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = experiments.ServeOnce(o, p, system, "poisson", "always", load)
+	}
+	if last.Completed != last.Admitted {
+		b.Fatalf("%s: %d of %d admitted requests completed", system, last.Completed, last.Admitted)
+	}
+	b.ReportMetric(float64(last.P99), "p99-ns")
+	b.ReportMetric(last.GoodputRps/1e6, "Mreq/s")
+}
+
+func BenchmarkServeSaturation(b *testing.B) {
+	for _, system := range []string{"ours", "saws", "charm", "glb"} {
+		for _, load := range []float64{0.5, 2} {
+			b.Run(fmt.Sprintf("%s/load%g", system, load), func(b *testing.B) {
+				benchServe(b, system, load)
+			})
+		}
+	}
+}
 
 // benchEngineSharded runs a fixed shard-confined program — 4 logical nodes
 // exchanging cross-node events at exactly the lookahead of the WISTERIA-O

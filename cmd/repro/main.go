@@ -12,6 +12,9 @@
 //	repro table3 [-machine ...] [-workers N]
 //	repro fig12  [-machine ...]
 //	repro resilience [-tree ...] [-workers N] [-seqdepth D] [-machine ...]
+//	repro serve  [-machine ...] [-workers N] [-requests R] [-loads 0.1,0.5,1,2]
+//	             [-systems ours,saws,charm,glb] [-arrivals poisson,mmpp]
+//	             [-admits always,token] [-horizon-us U]
 //	repro all    (runs everything at default scale)
 //	repro analyze <trace.json>   (delay attribution from a -trace file)
 //
@@ -87,7 +90,7 @@ type section struct {
 }
 
 func usageErr() error {
-	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|all|analyze} [flags]")
+	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|serve|all|analyze} [flags]")
 }
 
 // run executes one repro invocation against the given writers. All tables
@@ -122,6 +125,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	engineStats := fs.Bool("engine-stats", false, "print per-job engine counters (events, handoffs, callbacks, events/s) on stderr")
 	shards := fs.Int("shards", 1, "per-node event-heap shards inside each engine (results identical for every value)")
 	perturbSpec := fs.String("perturb", "", `deterministic fault injection, e.g. "jitter=0.5,straggler=0.25,drop=0.01,seed=1" (keys: jitter, straggler, sfactor, degraded, dfactor, drop, seed)`)
+	requests := fs.Int("requests", 0, "serve: offered arrivals per grid cell (0 = default)")
+	loads := fs.String("loads", "", "serve: comma-separated offered-load multipliers (e.g. 0.1,0.5,1,2)")
+	systems := fs.String("systems", "", "serve: comma-separated systems (ours,saws,charm,glb)")
+	arrivals := fs.String("arrivals", "", "serve: comma-separated arrival processes (poisson,mmpp)")
+	admits := fs.String("admits", "", "serve: comma-separated admission policies (always,token)")
+	horizonUs := fs.Float64("horizon-us", 0, "serve: cut every cell at this virtual time (µs; 0 = drain)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -242,6 +251,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			o2.Machine = "" // sweep both machines unless -machine was given
 		}
 		a.printResilience(experiments.Resilience(o2, *tree, *seqDepth))
+	case "serve":
+		p, err := serveParams(*requests, *loads, *systems, *arrivals, *admits, *horizonUs)
+		if err != nil {
+			return err
+		}
+		a.printServe(experiments.Serve(o, p))
 	case "all":
 		for _, b := range []string{"pfor", "recpfor"} {
 			a.printFig6(experiments.Fig6(o, b, fig6NS))
@@ -257,6 +272,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		o3 := o
 		o3.Machine = "" // both machines
 		a.printResilience(experiments.Resilience(o3, *tree, *seqDepth))
+		a.printServe(experiments.Serve(o, experiments.ServeParams{}))
 	case "analyze":
 		if fs.NArg() != 1 {
 			return fmt.Errorf("usage: repro analyze <trace.json>")
@@ -366,6 +382,70 @@ func (a *app) writeTSV(name string, header []string, rows [][]string) {
 		fmt.Fprintln(f, strings.Join(r, "\t"))
 	}
 	fmt.Fprintf(a.stdout, "(series written to %s/%s.tsv)\n", a.tsvDir, name)
+}
+
+// serveParams assembles the serve sweep grid from its CLI flags; empty
+// flags keep the experiment's defaults.
+func serveParams(requests int, loads, systems, arrivals, admits string, horizonUs float64) (experiments.ServeParams, error) {
+	p := experiments.ServeParams{Requests: requests}
+	var err error
+	if p.Loads, err = parseFloats(loads); err != nil {
+		return p, err
+	}
+	if p.Systems, err = checkNames("-systems", systems, "ours", "saws", "charm", "glb"); err != nil {
+		return p, err
+	}
+	if p.Processes, err = checkNames("-arrivals", arrivals, "poisson", "mmpp"); err != nil {
+		return p, err
+	}
+	if p.Admits, err = checkNames("-admits", admits, "always", "token"); err != nil {
+		return p, err
+	}
+	if horizonUs < 0 {
+		return p, fmt.Errorf("-horizon-us must be non-negative, got %g", horizonUs)
+	}
+	p.Horizon = sim.Time(horizonUs * float64(sim.Microsecond))
+	return p, nil
+}
+
+// checkNames splits a comma-separated name list and rejects anything not in
+// the allowed set; "" keeps the default nil.
+func checkNames(flag, s string, allowed ...string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		ok := false
+		for _, a := range allowed {
+			if name == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("%s: unknown name %q (want one of %s)", flag, name, strings.Join(allowed, ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list; "" keeps the default nil.
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseList(s string) ([]int, error) {
@@ -502,6 +582,46 @@ func (a *app) printResilience(rows []experiments.ResilienceRow) {
 	}
 	w.Flush()
 	a.writeTSV(name, []string{"machine", "system", "scenario", "level", "exec_s", "slowdown", "drops", "retrans"}, tsv)
+}
+
+func (a *app) printServe(rows []experiments.ServeRow) {
+	if len(rows) == 0 {
+		return
+	}
+	machLabel := rows[0].Machine
+	for _, r := range rows {
+		if r.Machine != machLabel {
+			machLabel = "all"
+			break
+		}
+	}
+	name := "serve_" + machLabel
+	a.record(name, rows)
+	fmt.Fprintf(a.stdout, "\n== Serving: open-system sojourn latency and goodput on %s ==\n", machLabel)
+	w := a.tw()
+	fmt.Fprintln(w, "system\tarrivals\tadmit\tload\toffered(rps)\tadm\trej\tdone\tinflight\tp50\tp99\tp999\tgoodput(rps)")
+	var tsv [][]string
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%g\t%.0f\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%.0f\n",
+			r.System, r.Process, r.Admit, r.Load, r.OfferedRps,
+			r.Admitted, r.Rejected, r.Completed, r.InFlight,
+			r.P50, r.P99, r.P999, r.GoodputRps)
+		tsv = append(tsv, []string{
+			r.Machine, r.System, r.Process, r.Admit,
+			fmt.Sprintf("%g", r.Load),
+			fmt.Sprintf("%.3f", r.OfferedRps),
+			fmt.Sprint(r.Requests), fmt.Sprint(r.Admitted), fmt.Sprint(r.Rejected),
+			fmt.Sprint(r.Injected), fmt.Sprint(r.Completed), fmt.Sprint(r.InFlight),
+			fmt.Sprint(int64(r.P50)), fmt.Sprint(int64(r.P99)), fmt.Sprint(int64(r.P999)),
+			fmt.Sprint(int64(r.MeanSojourn)), fmt.Sprint(int64(r.MaxSojourn)),
+			fmt.Sprintf("%.6f", r.Makespan.Seconds()),
+			fmt.Sprintf("%.3f", r.GoodputRps)})
+	}
+	w.Flush()
+	a.writeTSV(name, []string{
+		"machine", "system", "process", "admit", "load", "offered_rps",
+		"requests", "admitted", "rejected", "injected", "completed", "inflight",
+		"p50_ns", "p99_ns", "p999_ns", "mean_ns", "max_ns", "makespan_s", "goodput_rps"}, tsv)
 }
 
 func (a *app) printTable3(rows []experiments.Table3Row) {

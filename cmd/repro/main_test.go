@@ -184,6 +184,48 @@ func TestGoldenTraceJSON(t *testing.T) {
 	}
 }
 
+// serveGoldenArgs is the pinned serve slice: both arrival processes and
+// admission policies across the saturation knee, on two systems, with seed
+// 11 chosen so the token bucket rejects a nonzero fraction at load ≥ 1 —
+// the fixture pins admission, injection, completion, and the exact sojourn
+// percentiles (integer nanoseconds) in one file per machine.
+func serveGoldenArgs(machine string) []string {
+	return []string{"serve", "-machine", machine, "-workers", "18", "-requests", "96",
+		"-seed", "11", "-systems", "ours,saws", "-arrivals", "poisson,mmpp",
+		"-admits", "always,token", "-loads", "0.5,1,2"}
+}
+
+func TestGoldenServeTSV(t *testing.T) {
+	runGolden(t, serveGoldenArgs("itoa"), []string{"serve_itoa.tsv"})
+}
+
+func TestGoldenServeTSVWisteria(t *testing.T) {
+	runGolden(t, serveGoldenArgs("wisteria"), []string{"serve_wisteria.tsv"})
+}
+
+// TestServeParallelShardsByteIdentical drives the serve CLI end-to-end at
+// every -parallel × -shards combination and requires byte-identical output:
+// open-system arrivals are engine timers, so neither host pool width nor
+// event-heap sharding may leak into virtual time.
+func TestServeParallelShardsByteIdentical(t *testing.T) {
+	render := func(parallel, shards string) string {
+		var stdout bytes.Buffer
+		args := append(serveGoldenArgs("itoa"), "-json", "-", "-quiet",
+			"-parallel", parallel, "-shards", shards)
+		if err := run(args, &stdout, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String()
+	}
+	base := render("1", "1")
+	for _, alt := range [][2]string{{"8", "1"}, {"1", "4"}, {"8", "4"}} {
+		if got := render(alt[0], alt[1]); got != base {
+			t.Errorf("-parallel %s -shards %s serve output differs from -parallel 1 -shards 1:\n--- base ---\n%s--- got ---\n%s",
+				alt[0], alt[1], base, got)
+		}
+	}
+}
+
 // TestCLIParallelByteIdentical drives the full CLI surface (tables to
 // stdout, JSON dump) at -parallel 1 and -parallel 8 and requires
 // byte-identical bytes — the end-to-end form of the sweep determinism

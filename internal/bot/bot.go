@@ -59,6 +59,10 @@ type Config struct {
 	RandomSteals int
 	// MaxTime aborts a run that fails to terminate.
 	MaxTime sim.Time
+	// Serve, when non-nil, switches the runtime into open-system mode: the
+	// bootstrap root is ignored, arrivals are injected by engine timers, and
+	// termination detection is bypassed (see Serve).
+	Serve *Serve
 }
 
 func (c *Config) defaults() {

@@ -67,11 +67,22 @@ func RunCharm(cfg Config, root Task, expand Expand) Stats {
 	}
 	var prevPushed, prevProcessed int64 = -1, -1
 
+	// Open-system mode: arrivals land directly in the target worker's local
+	// queue (the front-end's incoming-work message); the termination token
+	// never circulates and drain is detected structurally.
+	var sv *serveState
+	if cfg.Serve != nil {
+		sv = newServeState(cfg.Serve)
+		sv.arm(eng, func(a ServeArrival) {
+			states[a.Rank].q.push(a.Task)
+		})
+	}
+
 	body := func(rank int) func(p *sim.Proc) {
 		return func(p *sim.Proc) {
 			s := states[rank]
 			rng := newRNG(cfg.Seed, rank)
-			if rank == 0 {
+			if rank == 0 && sv == nil {
 				s.q.push(root)
 				s.pushed++
 				net.Send(p, 0, (rank+1)%cfg.Workers, msg.Msg{Kind: cmToken, A: 1, Data: make([]byte, 16)})
@@ -115,16 +126,23 @@ func RunCharm(cfg Config, root Task, expand Expand) Stats {
 			}
 			sincePoll := 0
 			for !s.done {
+				if sv != nil && sv.finished {
+					return
+				}
 				// Process local tasks, polling every PollEvery completions.
 				if t, ok := s.q.pop(); ok {
 					p.Sleep(cfg.Machine.ComputeOn(rank, cfg.Work))
-					for _, child := range expand(t) {
+					children := expand(t)
+					for _, child := range children {
 						s.q.push(child)
 						s.pushed++
 					}
 					s.processed++
 					st.Tasks++
 					lastTask = p.Now()
+					if sv != nil {
+						sv.taskDone(t, len(children), p.Now())
+					}
 					sincePoll++
 					if sincePoll >= cfg.PollEvery {
 						sincePoll = 0
@@ -181,10 +199,12 @@ func RunCharm(cfg Config, root Task, expand Expand) Stats {
 	for r := 0; r < cfg.Workers; r++ {
 		eng.GoID("charm", int64(r), body(r))
 	}
-	end := eng.Run(cfg.MaxTime)
+	end := eng.Run(serveUntil(cfg))
 	if eng.Live() > 0 {
 		eng.Shutdown()
-		panic(fmt.Sprintf("bot: Charm-like did not terminate by %v", cfg.MaxTime))
+		if !sv.horizonCut(end) {
+			panic(fmt.Sprintf("bot: Charm-like did not terminate by %v", cfg.MaxTime))
+		}
 	}
 	st.Exec = end
 	if doneAt > lastTask {

@@ -62,6 +62,20 @@ func RunGLB(cfg Config, root Task, expand Expand) Stats {
 	}
 	var prevPushed, prevProcessed int64 = -1, -1
 
+	// Open-system mode: arrivals land in the target worker's local queue and
+	// clear its lifeline quiescence (an arrival reactivates a worker exactly
+	// like lifeline work would); the token never circulates and drain is
+	// detected structurally.
+	var sv *serveState
+	if cfg.Serve != nil {
+		sv = newServeState(cfg.Serve)
+		sv.arm(eng, func(a ServeArrival) {
+			s := states[a.Rank]
+			s.q.push(a.Task)
+			s.lifelined = false
+		})
+	}
+
 	body := func(rank int) func(p *sim.Proc) {
 		return func(p *sim.Proc) {
 			s := states[rank]
@@ -70,7 +84,7 @@ func RunGLB(cfg Config, root Task, expand Expand) Stats {
 			if cfg.Lifelines > 0 && cfg.Lifelines < len(lifelines) {
 				lifelines = lifelines[:cfg.Lifelines]
 			}
-			if rank == 0 {
+			if rank == 0 && sv == nil {
 				s.q.push(root)
 				s.pushed++
 				net.Send(p, 0, (rank+1)%cfg.Workers, msg.Msg{Kind: glbToken, A: 1, Data: make([]byte, 16)})
@@ -133,16 +147,23 @@ func RunGLB(cfg Config, root Task, expand Expand) Stats {
 			sincePoll := 0
 			attempts := 0
 			for !s.done {
+				if sv != nil && sv.finished {
+					return
+				}
 				if t, ok := s.q.pop(); ok {
 					attempts = 0
 					p.Sleep(cfg.Machine.ComputeOn(rank, cfg.Work))
-					for _, child := range expand(t) {
+					children := expand(t)
+					for _, child := range children {
 						s.q.push(child)
 						s.pushed++
 					}
 					s.processed++
 					st.Tasks++
 					lastTask = p.Now()
+					if sv != nil {
+						sv.taskDone(t, len(children), p.Now())
+					}
 					sincePoll++
 					if sincePoll >= cfg.PollEvery {
 						sincePoll = 0
@@ -210,10 +231,12 @@ func RunGLB(cfg Config, root Task, expand Expand) Stats {
 	for r := 0; r < cfg.Workers; r++ {
 		eng.GoID("glb", int64(r), body(r))
 	}
-	end := eng.Run(cfg.MaxTime)
+	end := eng.Run(serveUntil(cfg))
 	if eng.Live() > 0 {
 		eng.Shutdown()
-		panic(fmt.Sprintf("bot: GLB-like did not terminate by %v", cfg.MaxTime))
+		if !sv.horizonCut(end) {
+			panic(fmt.Sprintf("bot: GLB-like did not terminate by %v", cfg.MaxTime))
+		}
 	}
 	st.Exec = end
 	if doneAt > lastTask {

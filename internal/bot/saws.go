@@ -163,22 +163,44 @@ func RunSAWS(cfg Config, root Task, expand Expand) Stats {
 		}
 	}
 
+	// Open-system mode: arrival timers write tasks straight into the target
+	// worker's registered queue segment (the front-end's one-sided push);
+	// the token ring never starts and drain is detected structurally.
+	var sv *serveState
+	if cfg.Serve != nil {
+		sv = newServeState(cfg.Serve)
+		sv.arm(eng, func(a ServeArrival) {
+			w := ws[a.Rank]
+			seg := fab.Seg(w.rank)
+			h, tl := unpackHT(seg.ReadInt64(w.meta))
+			if tl-h >= sawsQueueCap {
+				panic("bot: SAWS serve queue overflow")
+			}
+			putTask(seg, w.taskSlot(tl), a.Task)
+			seg.WriteInt64(w.meta, packHT(h, tl+1))
+		})
+	}
+
 	body := func(w *sawsWorker) func(p *sim.Proc) {
 		return func(p *sim.Proc) {
 			rng := newRNG(cfg.Seed, w.rank)
-			if w.rank == 0 {
+			if w.rank == 0 && sv == nil {
 				push(p, w, root)
 				sendToken(p, w, 1, 0, 0) // inject the first token
 			}
 			for {
 				seg := fab.Seg(w.rank)
-				if seg.ReadInt64(w.done) != 0 {
+				if sv != nil {
+					if sv.finished {
+						return
+					}
+				} else if seg.ReadInt64(w.done) != 0 {
 					broadcastDone(p, w)
 					return
 				}
 				// Forward the token only when idle (queue empty), so a
 				// clean round implies a globally idle period.
-				if tk := tok(w); tk[0] != 0 {
+				if tk := tok(w); sv == nil && tk[0] != 0 {
 					h, tl := unpackHT(seg.ReadInt64(w.meta))
 					if h >= tl {
 						seg.WriteInt64(w.tokSlot, 0)
@@ -199,12 +221,16 @@ func RunSAWS(cfg Config, root Task, expand Expand) Stats {
 				}
 				if t, ok := pop(p, w); ok {
 					p.Sleep(cfg.Machine.ComputeOn(w.rank, cfg.Work))
-					for _, child := range expand(t) {
+					children := expand(t)
+					for _, child := range children {
 						push(p, w, child)
 					}
 					w.processed++
 					st.Tasks++
 					lastTask = p.Now()
+					if sv != nil {
+						sv.taskDone(t, len(children), p.Now())
+					}
 					continue
 				}
 				if cfg.Workers > 1 {
@@ -228,10 +254,12 @@ func RunSAWS(cfg Config, root Task, expand Expand) Stats {
 	for _, w := range ws {
 		eng.GoID("saws", int64(w.rank), body(w))
 	}
-	end := eng.Run(cfg.MaxTime)
+	end := eng.Run(serveUntil(cfg))
 	if eng.Live() > 0 {
 		eng.Shutdown()
-		panic(fmt.Sprintf("bot: SAWS did not terminate by %v", cfg.MaxTime))
+		if !sv.horizonCut(end) {
+			panic(fmt.Sprintf("bot: SAWS did not terminate by %v", cfg.MaxTime))
+		}
 	}
 	st.Exec = end
 	if doneAt > lastTask {

@@ -1,0 +1,154 @@
+package bot
+
+import (
+	"encoding/binary"
+
+	"contsteal/internal/sim"
+)
+
+// Open-system ("serve") mode for the bag-of-tasks baselines: instead of one
+// bootstrap root run to distributed termination, timestamped task arrivals
+// are injected into worker queues by engine timers. Completion becomes
+// structural — a shared counter of live tasks, maintained by the engine's
+// serial event dispatch — so the termination-detection protocols (token
+// ring, coordinator counting) are bypassed entirely: an open system is
+// never globally terminated, only drained or cut at a horizon.
+
+// ServeArrival is one open-system injection: Task enters Rank's queue at
+// virtual time At (as if a front-end had dispatched the request there).
+type ServeArrival struct {
+	At   sim.Time
+	Rank int
+	Task Task
+}
+
+// Serve switches a BoT runtime into open-system mode (set Config.Serve).
+// The root/expand bootstrap arguments of the Run functions are ignored.
+// OnTask is invoked after each task is processed, with the number of child
+// tasks its expansion produced — the hook the serve harness uses for
+// per-request completion accounting. A positive Horizon cuts the run at
+// that virtual time instead of draining.
+type Serve struct {
+	Arrivals []ServeArrival // ascending At
+	Horizon  sim.Time       // 0 = run until all injected work drains
+	OnTask   func(t Task, children int, now sim.Time)
+}
+
+// serveState tracks open-system progress. The engine dispatches one event
+// at a time, so plain fields shared across worker procs and timers stay
+// deterministic.
+type serveState struct {
+	sv        *Serve
+	remaining int64 // injected + spawned - processed
+	allIn     bool  // every arrival timer has fired
+	finished  bool  // allIn && remaining == 0
+}
+
+func newServeState(sv *Serve) *serveState {
+	for i := 1; i < len(sv.Arrivals); i++ {
+		if sv.Arrivals[i].At < sv.Arrivals[i-1].At {
+			panic("bot: serve arrivals must be sorted by arrival time")
+		}
+	}
+	s := &serveState{sv: sv}
+	if len(sv.Arrivals) == 0 {
+		s.allIn = true
+		s.finished = true
+	}
+	return s
+}
+
+// arm schedules one engine timer per arrival (skipping those at/after the
+// horizon, which by definition never enter the system); inject places the
+// task into the target worker's queue.
+func (s *serveState) arm(eng *sim.Engine, inject func(a ServeArrival)) {
+	live := 0
+	for _, a := range s.sv.Arrivals {
+		if s.sv.Horizon > 0 && a.At >= s.sv.Horizon {
+			continue
+		}
+		live++
+	}
+	if live == 0 {
+		s.allIn = true
+		s.finished = true
+		return
+	}
+	n := 0
+	for _, a := range s.sv.Arrivals {
+		if s.sv.Horizon > 0 && a.At >= s.sv.Horizon {
+			continue
+		}
+		a := a
+		n++
+		last := n == live
+		eng.At(a.At, func() {
+			s.remaining++
+			if last {
+				s.allIn = true
+			}
+			inject(a)
+		})
+	}
+}
+
+// taskDone books one processed task and flips finished once the system has
+// drained. children is the size of the task's expansion.
+func (s *serveState) taskDone(t Task, children int, now sim.Time) {
+	s.remaining += int64(children) - 1
+	if s.sv.OnTask != nil {
+		s.sv.OnTask(t, children, now)
+	}
+	if s.allIn && s.remaining == 0 {
+		s.finished = true
+	}
+}
+
+// horizonCut reports whether a still-live engine at time end is the
+// expected horizon cut (rather than a livelocked run that must panic).
+func (s *serveState) horizonCut(end sim.Time) bool {
+	return s != nil && s.sv.Horizon > 0 && end >= s.sv.Horizon
+}
+
+// ServeTask encodes one node of a complete fanout-ary request DAG as a BoT
+// task: the request ID in Desc[0:8] (little-endian), the fanout in Desc[8],
+// and the remaining depth in Task.Depth. Expanding with ServeExpand
+// processes exactly 1 + F + … + F^depth tasks per request (the serve
+// harness's conservation accounting relies on this).
+func ServeTask(id int64, fanout, depth int) Task {
+	var t Task
+	binary.LittleEndian.PutUint64(t.Desc[0:8], uint64(id))
+	t.Desc[8] = byte(fanout)
+	t.Depth = int32(depth)
+	return t
+}
+
+// ServeTaskID recovers the request ID from a ServeTask-encoded task.
+func ServeTaskID(t Task) int64 {
+	return int64(binary.LittleEndian.Uint64(t.Desc[0:8]))
+}
+
+// ServeExpand is the Expand function for ServeTask DAGs: an interior node
+// yields fanout children one level shallower; a leaf yields none.
+func ServeExpand(t Task) []Task {
+	if t.Depth <= 0 {
+		return nil
+	}
+	fanout := int(t.Desc[8])
+	out := make([]Task, fanout)
+	for i := range out {
+		out[i] = t
+		out[i].Depth = t.Depth - 1
+	}
+	return out
+}
+
+// runUntil returns the engine horizon for a serve-mode run: the serve
+// horizon when set and tighter than MaxTime.
+func serveUntil(cfg Config) sim.Time {
+	until := cfg.MaxTime
+	if cfg.Serve != nil && cfg.Serve.Horizon > 0 && cfg.Serve.Horizon < until {
+		until = cfg.Serve.Horizon
+	}
+	return until
+}

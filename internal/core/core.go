@@ -248,6 +248,9 @@ type Runtime struct {
 	isoNext uint64
 	isoHigh uint64
 
+	// serve is the open-system bookkeeping; non-nil only for Serve runs.
+	serve *serveState
+
 	tr        *traceState // non-nil when Config.Trace or Config.Tracer is set
 	lastStats *RunStats   // stats of the completed run (for TraceLog's Check block)
 }
@@ -414,6 +417,15 @@ func (rt *Runtime) collectObs(rs *RunStats) {
 	// output stays byte-identical to pre-perturbation runs.
 	if rs.Fabric.PerturbTime > 0 {
 		m.Counter("perturb.extra.ns").Add(uint64(rs.Fabric.PerturbTime))
+	}
+	// Admission/conservation counters, registered only in serve mode for the
+	// same reason. serve.admitted == serve.completed + serve.inflight on
+	// every run — the invariant the serve test harness asserts per cell.
+	if s := rt.serve; s != nil {
+		m.Counter("serve.admitted").Add(s.total)
+		m.Counter("serve.injected").Add(s.injected)
+		m.Counter("serve.completed").Add(s.completed)
+		m.Counter("serve.inflight").Add(s.total - s.completed)
 	}
 	rs.Obs = m
 }

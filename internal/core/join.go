@@ -29,7 +29,11 @@ func (rt *Runtime) die(c *Ctx, ret []byte) {
 	t := c.t
 	t.w.st.Tasks++
 	if t.isRoot {
-		rt.finish(ret)
+		if t.req != nil {
+			rt.requestDone(t.w, t.req) // open-system request root (serve mode)
+		} else {
+			rt.finish(ret)
+		}
 		t.releaseStack()
 		t.state = tDead
 		t.w.toScheduler()

@@ -15,6 +15,21 @@ type workerObs struct {
 	migrate    *obs.Hist // payload copy time per arriving migration
 	ojWait     *obs.Hist // outstanding-join wait per resume (ready -> resumed)
 	dequeOcc   *obs.Hist // own-deque occupancy sampled after each push
+
+	// sojourn is the per-request end-to-end latency (serve mode only;
+	// registered lazily by serveInit so closed-system metric output stays
+	// byte-identical to pre-serve revisions).
+	sojourn *obs.Hist
+}
+
+// serveInit registers the serve-mode instruments on this worker's registry.
+// Called once per worker at Serve start, before any observation, so the
+// registration order — and thus the merged TSV layout — is identical on
+// every rank.
+func (o *workerObs) serveInit() {
+	if o.sojourn == nil {
+		o.sojourn = o.reg.Hist("serve.sojourn", obs.TimeBuckets())
+	}
 }
 
 func newWorkerObs() *workerObs {

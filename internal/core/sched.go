@@ -77,6 +77,13 @@ func (w *Worker) schedule(p *sim.Proc) {
 		w.startRoot(p)
 	}
 	for !rt.done {
+		// 0. Newly arrived open-system requests (serve mode). The inbox is
+		//    fed by arrival timers and — unlike the deque — is invisible to
+		//    thieves, so it is served before stealable local work.
+		if len(w.inbox) > 0 {
+			w.startRequest(p)
+			continue
+		}
 		// 1. Local work first (greedy: ready tasks run immediately).
 		if entry, obj, ok := w.dq.Pop(p); ok {
 			w.dispatchLocal(p, entry, obj)
@@ -101,6 +108,12 @@ func (w *Worker) schedule(p *sim.Proc) {
 			t := w.waitQ[0]
 			w.waitQ = w.waitQ[1:]
 			w.st.WaitQResumes++
+			// A resume is real work: reset the backoff streak so the worker
+			// re-enters the idle loop at the base delay. Without this, a
+			// streak built before a busy wait-queue period persists across
+			// it, and the worker sleeps up to the max backoff before
+			// noticing late open-system arrivals (or freshly pushed work).
+			w.failStreak = 0
 			w.resume(p, t)
 			p.Park()
 			continue
@@ -109,6 +122,18 @@ func (w *Worker) schedule(p *sim.Proc) {
 		// counter has advanced to a new multiple — see shouldCollect).
 		if w.shouldCollect() {
 			rt.objs.Collect(p, w.rank)
+		}
+		// 5. Quiescent open system: no task exists anywhere, so the only
+		// possible new work is a future arrival — park on the doorbell
+		// (injection wakes every dozer) instead of polling, and restart the
+		// backoff regime on wake-up: an arrival is a new load regime. The
+		// !done check matters: the run can end while this worker is inside
+		// an iteration (mid-steal), after the final wake already fired.
+		if s := rt.serve; s != nil && !rt.done && s.quiescent() {
+			s.doze(w)
+			p.Park()
+			w.failStreak = 0
+			continue
 		}
 		p.Sleep(w.idleDelay())
 	}
@@ -260,9 +285,21 @@ func (w *Worker) scheduleRtC(p *sim.Proc) {
 		return
 	}
 	for !rt.done {
+		if len(w.inbox) > 0 {
+			w.runRequestInline(p)
+			continue
+		}
 		if !w.tryRunOneRtC(p) {
 			if w.shouldCollect() {
 				rt.objs.Collect(p, w.rank)
+			}
+			// Quiescent open system: park on the arrival doorbell (see
+			// schedule step 5, including the mid-iteration !done check).
+			if s := rt.serve; s != nil && !rt.done && s.quiescent() {
+				s.doze(w)
+				p.Park()
+				w.failStreak = 0
+				continue
 			}
 			p.Sleep(w.idleDelay())
 		}

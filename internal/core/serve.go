@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"contsteal/internal/sim"
+)
+
+// Open-system ("serve") mode: instead of one root task run to completion,
+// the runtime accepts a trace of timestamped requests, each spawning its own
+// task DAG when it arrives. Completion is per-request (the request's root
+// thread dying), and the run ends when every admitted request has completed
+// — or at an explicit horizon, reporting the in-flight remainder.
+//
+// Arrivals are injected by engine timers into a per-worker inbox, so the
+// whole open system stays inside the deterministic engine: results are
+// byte-identical for any host parallelism and any engine shard count, the
+// same contract as closed-system runs.
+
+// Request is one open-system arrival: a request DAG root Fn that enters the
+// system at virtual time At. ID is caller-assigned identity, reported back
+// in RequestDone.
+type Request struct {
+	ID int64
+	At sim.Time
+	Fn TaskFunc
+}
+
+// RequestDone records one completed request. Serve returns these in
+// completion order (deterministic: the engine dispatches events serially).
+type RequestDone struct {
+	ID  int64
+	At  sim.Time // arrival
+	End sim.Time // completion
+}
+
+// Sojourn is the request's end-to-end virtual-time latency.
+func (d RequestDone) Sojourn() sim.Time { return d.End - d.At }
+
+// ServeStats extends RunStats with the open-system accounting. The
+// conservation invariant Admitted == Completed + InFlight holds exactly on
+// every run, horizon-cut or drained.
+type ServeStats struct {
+	RunStats
+	Admitted  uint64 // requests handed to Serve
+	Injected  uint64 // arrival timers that fired (all of them, unless cut)
+	Completed uint64
+	InFlight  uint64        // Admitted - Completed at the end of the run
+	Done      []RequestDone // per-request completions, in completion order
+}
+
+// serveState is the runtime's open-system bookkeeping. The engine runs one
+// event at a time, so plain fields mutated from timers and worker procs stay
+// deterministic.
+type serveState struct {
+	total     uint64
+	injected  uint64
+	completed uint64
+	done      []RequestDone
+	// dozing holds workers parked on the arrival doorbell: the system was
+	// quiescent (injected == completed, so no task exists anywhere) and the
+	// only possible new work is a future arrival. Injection wakes them all.
+	dozing []*Worker
+}
+
+// quiescent reports whether no injected request is still executing — the
+// condition under which an idle worker may park instead of polling: every
+// task in an open system descends from a request, so injected == completed
+// means there is nothing to run or steal anywhere.
+func (s *serveState) quiescent() bool { return s.injected == s.completed }
+
+// doze parks the calling worker on the arrival doorbell. The caller must
+// p.Park() immediately after (the engine dispatches no event in between, so
+// the registration cannot miss a wake).
+func (s *serveState) doze(w *Worker) { s.dozing = append(s.dozing, w) }
+
+// wakeDozers unparks every dozing worker — on a new arrival (fresh work) or
+// at the end of the run (so parked workers observe rt.done and exit).
+func (rt *Runtime) wakeDozers() {
+	s := rt.serve
+	for _, w := range s.dozing {
+		rt.eng.Wake(w.proc)
+	}
+	s.dozing = s.dozing[:0]
+}
+
+// Serve runs the open system: each request is injected at its arrival time
+// into a worker inbox (arrival index round-robin over ranks, modelling a
+// front-end load balancer) and executed as a root task under the configured
+// policy. Requests must be sorted by At. A positive horizon cuts the run at
+// that virtual time — remaining requests are reported as InFlight instead
+// of panicking; horizon 0 drains the system (subject to Config.MaxTime).
+// Call at most once per Runtime, instead of Run.
+func (rt *Runtime) Serve(reqs []Request, horizon sim.Time) ServeStats {
+	if rt.serve != nil {
+		panic("core: Serve may be called at most once per Runtime")
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].At < reqs[i-1].At {
+			panic("core: Serve arrivals must be sorted by arrival time")
+		}
+	}
+	s := &serveState{total: uint64(len(reqs))}
+	rt.serve = s
+	if rt.cfg.Metrics {
+		for _, w := range rt.workers {
+			w.ob.serveInit()
+		}
+	}
+	for _, w := range rt.workers {
+		w.proc = rt.eng.GoIDOn(rt.shardOf(w.rank), "worker", int64(w.rank), w.schedule)
+	}
+	for i := range reqs {
+		if horizon > 0 && reqs[i].At >= horizon {
+			continue // would arrive after the cut; stays in-flight by definition
+		}
+		r := reqs[i] // private copy: the injected pointer outlives the caller's slice
+		w := rt.workers[i%len(rt.workers)]
+		// The timer must live on the shard owning the target worker's node,
+		// like every other event touching that worker's state.
+		rt.eng.AfterOn(rt.shardOf(w.rank), r.At, func() {
+			s.injected++
+			w.inbox = append(w.inbox, &r)
+			rt.wakeDozers()
+		})
+	}
+	if rt.cfg.Sample > 0 {
+		rt.armSampler()
+	}
+	if len(reqs) == 0 {
+		rt.done = true
+	}
+	until := rt.maxHorizon()
+	if horizon > 0 && horizon < until {
+		until = horizon
+	}
+	end := rt.eng.Run(until)
+	switch {
+	case !rt.done && horizon > 0 && end >= horizon:
+		// Horizon cut: workers (and any in-flight request threads) are
+		// still live by design; kill them and report the remainder.
+		rt.eng.Shutdown()
+	case !rt.done:
+		rt.eng.Shutdown()
+		panic(fmt.Sprintf("core: %v serve did not complete by %v (deadlock=%v, live=%d)",
+			rt.cfg.Policy, until, rt.eng.Deadlocked(), rt.eng.Live()))
+	default:
+		if live := rt.eng.Live(); live > 0 {
+			rt.eng.Shutdown()
+			panic(fmt.Sprintf("core: %d procs leaked at serve completion", live))
+		}
+	}
+	return ServeStats{
+		RunStats:  rt.collect(end),
+		Admitted:  s.total,
+		Injected:  s.injected,
+		Completed: s.completed,
+		InFlight:  s.total - s.completed,
+		Done:      s.done,
+	}
+}
+
+// requestDone books one completed request at the current virtual time and
+// flips the runtime's done flag when the system has drained.
+func (rt *Runtime) requestDone(w *Worker, r *Request) {
+	s := rt.serve
+	now := rt.eng.Now()
+	s.completed++
+	s.done = append(s.done, RequestDone{ID: r.ID, At: r.At, End: now})
+	if w.ob != nil && w.ob.sojourn != nil {
+		w.ob.sojourn.Observe(now - r.At)
+	}
+	if s.completed == s.total {
+		rt.done = true
+		rt.wakeDozers()
+	}
+}
+
+// startRequest launches the oldest inbox request on this worker as a root
+// thread, mirroring startRoot for the policy's thread shape. The caller's
+// scheduler loop must treat it like a dispatch (the worker parks until the
+// thread yields it back).
+func (w *Worker) startRequest(p *sim.Proc) {
+	rt := w.rt
+	r := w.inbox[0]
+	w.inbox = w.inbox[1:]
+	// New work arrived from outside: leave the idle-backoff regime (work
+	// does not only ever shrink in an open system).
+	w.failStreak = 0
+	var t *Thread
+	if rt.cfg.Policy.Continuation() {
+		t = newContThread(w, r.Fn, Handle{}, -1, true)
+	} else {
+		t = &Thread{rt: rt, fn: r.Fn, isChildTask: true, isRoot: true, w: w}
+		rt.register(t)
+	}
+	t.req = r
+	w.setCurrent(t)
+	t.start()
+	p.Park()
+}
+
+// runRequestInline executes a request root as a plain function call on the
+// scheduler stack (ChildRtC), mirroring the closed-system RtC root path.
+func (w *Worker) runRequestInline(p *sim.Proc) {
+	rt := w.rt
+	r := w.inbox[0]
+	w.inbox = w.inbox[1:]
+	w.failStreak = 0
+	w.rtcEnter()
+	c := &Ctx{rt: rt, w: w, p: p}
+	r.Fn(c)
+	w.st.Tasks++
+	rt.requestDone(w, r)
+	w.rtcExit()
+}

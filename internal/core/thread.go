@@ -53,6 +53,10 @@ type Thread struct {
 	// waitingOn is the entry this thread is suspended on (join accounting).
 	waitingOn rdma.Loc
 
+	// req is the open-system request this thread is the root of (serve
+	// mode); nil for closed-system roots and all non-root threads.
+	req *Request
+
 	// parked/pendingWake implement a race-free park/wake handshake: a
 	// resumer may complete (and call handoff) during the latency window
 	// between a thread making itself resumable and its proc actually
@@ -77,6 +81,11 @@ type Worker struct {
 	// waitQ is the FIFO wait queue of threads suspended at stalling joins
 	// (§III-A1). The scheduler resumes them round-robin on failed steals.
 	waitQ []*Thread
+
+	// inbox holds open-system requests injected by arrival timers (serve
+	// mode). Only the owning worker reads it; unlike deque entries, inbox
+	// requests are not stealable, so the scheduler serves it first.
+	inbox []*Request
 
 	current  *Thread
 	rtcDepth int // ChildRtC: nesting depth of inline task execution

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"contsteal/internal/core"
+	"contsteal/internal/sim"
+)
+
+// Open-system serving workload: instead of one large tree run to completion
+// (a closed system, where load is determined by the runtime itself), a
+// seeded arrival process offers timestamped requests, each of which spawns a
+// small fork-join DAG. This is the M/G/k-style setup used to study
+// tail-latency behaviour of schedulers: offered load is an *input*, and the
+// system either keeps up (sojourn times bounded) or saturates (queues grow
+// without bound past the knee of the goodput curve).
+//
+// Arrival generation happens entirely ahead of the run, from its own seeded
+// RNG, so the identical trace is offered to every runtime under comparison
+// and determinism is preserved for any host parallelism.
+
+// ServeReq is one offered request: a complete Fanout-ary task DAG of the
+// given Depth (Depth 0 = a single task), arriving at virtual time At.
+type ServeReq struct {
+	ID     int64
+	At     sim.Time
+	Fanout int // children per interior node, >= 1
+	Depth  int // levels below the root, >= 0
+}
+
+// Nodes returns the number of tasks in the request's DAG:
+// 1 + F + F² + … + F^Depth.
+func (r ServeReq) Nodes() int64 {
+	n := int64(0)
+	pow := int64(1)
+	for d := 0; d <= r.Depth; d++ {
+		n += pow
+		pow *= int64(r.Fanout)
+	}
+	return n
+}
+
+// ServeSpec parameterizes the arrival process and the request DAG shape
+// distribution. The zero value is completed by defaults(); Process and
+// RateRps must be set.
+type ServeSpec struct {
+	// Process selects the arrival process: "poisson" (memoryless, the
+	// M/G/k baseline) or "mmpp" (2-state Markov-modulated Poisson, a
+	// standard bursty-traffic model: the rate alternates between a low and
+	// a high state with exponentially distributed dwell times).
+	Process string
+	// RateRps is the long-run offered rate in requests per second of
+	// virtual time (for MMPP this is the time-averaged rate).
+	RateRps float64
+	// Requests is the number of arrivals to generate.
+	Requests int
+	// Seed drives arrival times and DAG shapes.
+	Seed int64
+
+	// MMPP shape (ignored for "poisson"):
+	// Burst is the ratio of the high-state rate to the low-state rate.
+	Burst float64 // default 8
+	// Duty is the fraction of time spent in the high state.
+	Duty float64 // default 0.2
+	// CycleArrivals sets the mean burst-cycle length, measured in expected
+	// arrivals per cycle, so burstiness scales with the trace.
+	CycleArrivals float64 // default 64
+
+	// Request DAG shape: Fanout uniform in [1, MaxFanout], Depth uniform
+	// in [0, MaxDepth].
+	MaxFanout int // default 3
+	MaxDepth  int // default 3
+	// NodeWork is the per-task compute cost on the reference machine.
+	NodeWork sim.Time // default 190
+}
+
+func (s *ServeSpec) defaults() {
+	if s.Process == "" {
+		s.Process = "poisson"
+	}
+	if s.Burst <= 1 {
+		s.Burst = 8
+	}
+	if s.Duty <= 0 || s.Duty >= 1 {
+		s.Duty = 0.2
+	}
+	if s.CycleArrivals <= 0 {
+		s.CycleArrivals = 64
+	}
+	if s.MaxFanout <= 0 {
+		s.MaxFanout = 3
+	}
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = 3
+	}
+	if s.NodeWork <= 0 {
+		s.NodeWork = 190
+	}
+}
+
+// ExpectedNodes returns the mean DAG size under the spec's shape
+// distribution (exact enumeration over the uniform Fanout × Depth grid) —
+// the quantity that converts a request rate into a task rate when sizing
+// admission control against machine capacity.
+func (s ServeSpec) ExpectedNodes() float64 {
+	s.defaults()
+	var sum float64
+	n := 0
+	for f := 1; f <= s.MaxFanout; f++ {
+		for d := 0; d <= s.MaxDepth; d++ {
+			sum += float64(ServeReq{Fanout: f, Depth: d}.Nodes())
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// GenServe generates the request trace: sorted arrival times from the
+// seeded process plus a DAG shape per request. The same (spec, seed) always
+// yields the identical trace.
+func GenServe(s ServeSpec) []ServeReq {
+	s.defaults()
+	if s.RateRps <= 0 {
+		panic("workload: ServeSpec.RateRps must be positive")
+	}
+	if s.Requests <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5EEDC0DE))
+	var at []sim.Time
+	switch s.Process {
+	case "poisson":
+		at = poissonTimes(rng, s.Requests, s.RateRps)
+	case "mmpp":
+		at = mmppTimes(rng, s)
+	default:
+		panic(fmt.Sprintf("workload: unknown arrival process %q", s.Process))
+	}
+	reqs := make([]ServeReq, s.Requests)
+	for i := range reqs {
+		reqs[i] = ServeReq{
+			ID:     int64(i),
+			At:     at[i],
+			Fanout: rng.Intn(s.MaxFanout) + 1,
+			Depth:  rng.Intn(s.MaxDepth + 1),
+		}
+	}
+	return reqs
+}
+
+// poissonTimes draws n arrival times with exponential interarrivals at
+// rate rps.
+func poissonTimes(rng *rand.Rand, n int, rps float64) []sim.Time {
+	out := make([]sim.Time, n)
+	t := 0.0 // seconds
+	for i := range out {
+		t += rng.ExpFloat64() / rps
+		out[i] = secToTime(t, out, i)
+	}
+	return out
+}
+
+// mmppTimes draws arrival times from a 2-state MMPP. The low/high rates are
+// chosen so the time-averaged rate equals RateRps:
+//
+//	rateL = R / (1 − Duty + Duty·Burst),  rateH = Burst·rateL.
+//
+// Dwell times are exponential with means Duty·cycle (high) and
+// (1−Duty)·cycle (low), cycle = CycleArrivals/R. Because exponential
+// interarrivals are memoryless, discarding the in-flight gap at a state
+// boundary and redrawing at the new rate samples the exact process.
+func mmppTimes(rng *rand.Rand, s ServeSpec) []sim.Time {
+	rateL := s.RateRps / (1 - s.Duty + s.Duty*s.Burst)
+	rateH := s.Burst * rateL
+	cycle := s.CycleArrivals / s.RateRps // seconds
+	dwellH := s.Duty * cycle
+	dwellL := (1 - s.Duty) * cycle
+
+	out := make([]sim.Time, s.Requests)
+	t := 0.0
+	high := false
+	boundary := t + rng.ExpFloat64()*dwellL
+	for i := range out {
+		for {
+			rate := rateL
+			if high {
+				rate = rateH
+			}
+			gap := rng.ExpFloat64() / rate
+			if t+gap <= boundary {
+				t += gap
+				break
+			}
+			t = boundary
+			high = !high
+			dwell := dwellL
+			if high {
+				dwell = dwellH
+			}
+			boundary = t + rng.ExpFloat64()*dwell
+		}
+		out[i] = secToTime(t, out, i)
+	}
+	return out
+}
+
+// secToTime converts seconds to sim.Time, clamping so rounding can never
+// produce a non-monotone trace.
+func secToTime(sec float64, prev []sim.Time, i int) sim.Time {
+	ns := sim.Time(math.Round(sec * float64(sim.Second)))
+	if i > 0 && ns < prev[i-1] {
+		ns = prev[i-1]
+	}
+	return ns
+}
+
+// ServeDAG returns the fork-join task body of one request: a complete
+// fanout-ary tree of the given depth, each node costing work.
+func ServeDAG(fanout, depth int, work sim.Time) core.TaskFunc {
+	return func(c *core.Ctx) []byte {
+		serveNode(c, fanout, depth, work)
+		return nil
+	}
+}
+
+func serveNode(c *core.Ctx, fanout, depth int, work sim.Time) {
+	c.Compute(work)
+	if depth == 0 {
+		return
+	}
+	hs := make([]core.Handle, 0, fanout-1)
+	for i := 0; i < fanout-1; i++ {
+		hs = append(hs, c.Spawn(func(c *core.Ctx) []byte {
+			serveNode(c, fanout, depth-1, work)
+			return nil
+		}))
+	}
+	serveNode(c, fanout, depth-1, work) // run the last child inline
+	for _, h := range hs {
+		h.Join(c)
+	}
+}
+
+// Admission is a pluggable admission-control policy evaluated per arrival,
+// in arrival order, at virtual arrival time. A nil or always-admit policy
+// passes everything; a token bucket sheds load beyond a configured
+// sustained rate + burst. Policies are stateful and single-use.
+type Admission struct {
+	Name      string
+	capacity  float64
+	refillRps float64
+	tokens    float64
+	last      sim.Time
+	always    bool
+}
+
+// AlwaysAdmit admits every request.
+func AlwaysAdmit() *Admission {
+	return &Admission{Name: "always", always: true}
+}
+
+// TokenBucket admits a sustained refillRps requests per second with bursts
+// up to capacity; the bucket starts full.
+func TokenBucket(capacity int, refillRps float64) *Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Admission{
+		Name:      "token",
+		capacity:  float64(capacity),
+		refillRps: refillRps,
+		tokens:    float64(capacity),
+	}
+}
+
+// Admit decides one arrival at time at. Calls must be in non-decreasing
+// time order.
+func (a *Admission) Admit(at sim.Time) bool {
+	if a == nil || a.always {
+		return true
+	}
+	if at < a.last {
+		panic("workload: Admission.Admit called out of order")
+	}
+	a.tokens += (at - a.last).Seconds() * a.refillRps
+	if a.tokens > a.capacity {
+		a.tokens = a.capacity
+	}
+	a.last = at
+	if a.tokens >= 1 {
+		a.tokens--
+		return true
+	}
+	return false
+}

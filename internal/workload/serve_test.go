@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"contsteal/internal/bot"
+	"contsteal/internal/core"
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+func serveSpec(process string, n int, rps float64, seed int64) ServeSpec {
+	return ServeSpec{Process: process, RateRps: rps, Requests: n, Seed: seed}
+}
+
+func TestGenServeDeterministicAndSorted(t *testing.T) {
+	for _, process := range []string{"poisson", "mmpp"} {
+		a := GenServe(serveSpec(process, 500, 1e6, 7))
+		b := GenServe(serveSpec(process, 500, 1e6, 7))
+		if len(a) != 500 {
+			t.Fatalf("%s: %d requests, want 500", process, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: request %d differs across identical generations: %+v vs %+v", process, i, a[i], b[i])
+			}
+			if i > 0 && a[i].At < a[i-1].At {
+				t.Fatalf("%s: arrivals out of order at %d: %v < %v", process, i, a[i].At, a[i-1].At)
+			}
+			if a[i].ID != int64(i) {
+				t.Fatalf("%s: request %d has ID %d", process, i, a[i].ID)
+			}
+			if a[i].Fanout < 1 || a[i].Fanout > 3 || a[i].Depth < 0 || a[i].Depth > 3 {
+				t.Fatalf("%s: shape out of range: %+v", process, a[i])
+			}
+		}
+		c := GenServe(serveSpec(process, 500, 1e6, 8))
+		same := 0
+		for i := range a {
+			if a[i].At == c[i].At {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s: different seeds produced an identical trace", process)
+		}
+	}
+}
+
+// TestGenServeRates: both processes hit the requested long-run rate, and
+// the MMPP trace is measurably burstier than the Poisson one (higher
+// coefficient of variation of interarrival times).
+func TestGenServeRates(t *testing.T) {
+	const n, rps = 20000, 1e6
+	cv := func(reqs []ServeReq) (meanNs, cvSq float64) {
+		var sum, sumSq float64
+		for i := 1; i < len(reqs); i++ {
+			d := float64(reqs[i].At - reqs[i-1].At)
+			sum += d
+			sumSq += d * d
+		}
+		k := float64(len(reqs) - 1)
+		mean := sum / k
+		return mean, (sumSq/k - mean*mean) / (mean * mean)
+	}
+	pMean, pCV := cv(GenServe(serveSpec("poisson", n, rps, 3)))
+	mMean, mCV := cv(GenServe(serveSpec("mmpp", n, rps, 3)))
+	wantMean := 1e9 / rps // ns
+	if math.Abs(pMean-wantMean) > 0.1*wantMean {
+		t.Errorf("poisson mean interarrival %.0fns, want %.0fns ±10%%", pMean, wantMean)
+	}
+	if math.Abs(mMean-wantMean) > 0.15*wantMean {
+		t.Errorf("mmpp mean interarrival %.0fns, want %.0fns ±15%%", mMean, wantMean)
+	}
+	// Exponential interarrivals have CV² = 1; a 2-state MMPP is strictly
+	// overdispersed.
+	if pCV < 0.8 || pCV > 1.25 {
+		t.Errorf("poisson interarrival CV² = %.2f, want ≈1", pCV)
+	}
+	if mCV < 1.5*pCV {
+		t.Errorf("mmpp CV² = %.2f not measurably burstier than poisson CV² = %.2f", mCV, pCV)
+	}
+}
+
+func TestGenServeUnknownProcessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown process did not panic")
+		}
+	}()
+	GenServe(serveSpec("weibull", 10, 1e6, 1))
+}
+
+// TestServeReqNodesMatchesExpansion: the closed-form Nodes() equals the
+// number of tasks the BoT expansion actually produces.
+func TestServeReqNodesMatchesExpansion(t *testing.T) {
+	for fanout := 1; fanout <= 4; fanout++ {
+		for depth := 0; depth <= 4; depth++ {
+			want := ServeReq{Fanout: fanout, Depth: depth}.Nodes()
+			frontier := []bot.Task{bot.ServeTask(99, fanout, depth)}
+			var got int64
+			for len(frontier) > 0 {
+				task := frontier[0]
+				frontier = frontier[1:]
+				got++
+				if id := bot.ServeTaskID(task); id != 99 {
+					t.Fatalf("task ID %d, want 99", id)
+				}
+				frontier = append(frontier, bot.ServeExpand(task)...)
+			}
+			if got != want {
+				t.Errorf("fanout=%d depth=%d: expansion yields %d tasks, Nodes() says %d", fanout, depth, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedNodes(t *testing.T) {
+	var spec ServeSpec // defaults: fanout 1..3, depth 0..3
+	// Σ nodes over the 12-cell grid: f=1 → 1+2+3+4, f=2 → 1+3+7+15,
+	// f=3 → 1+4+13+40 = 94.
+	if got, want := spec.ExpectedNodes(), 94.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ExpectedNodes = %v, want %v", got, want)
+	}
+}
+
+// TestServeDAGCompletes: the request body runs to completion under the
+// fork-join runtime with a spawn per non-inline child.
+func TestServeDAGCompletes(t *testing.T) {
+	cfg := core.Config{
+		Machine: topo.Uniform(500), Workers: 4, Policy: core.ContGreedy,
+		RemoteFree: remobj.LocalCollection, Seed: 1, MaxTime: 10 * sim.Second,
+	}
+	rt := core.New(cfg)
+	_, st := rt.Run(ServeDAG(3, 3, 190))
+	// 40 nodes × 190ns of pure compute, whatever the schedule.
+	if want := sim.Time(40 * 190); st.ExecTime < want/sim.Time(cfg.Workers) {
+		t.Fatalf("ExecTime %v below the work bound %v/P", st.ExecTime, want)
+	}
+}
+
+func TestAdmissionAlwaysAndNil(t *testing.T) {
+	a := AlwaysAdmit()
+	var nilA *Admission
+	for i := sim.Time(0); i < 10; i++ {
+		if !a.Admit(i * 100) {
+			t.Fatal("AlwaysAdmit rejected")
+		}
+		if !nilA.Admit(i * 100) {
+			t.Fatal("nil admission rejected")
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	// Capacity 2, refill 1 token/s: the bucket starts full.
+	b := TokenBucket(2, 1)
+	if !b.Admit(0) || !b.Admit(0) {
+		t.Fatal("initial burst within capacity rejected")
+	}
+	if b.Admit(0) {
+		t.Fatal("admitted past capacity with no refill")
+	}
+	// 0.5s refills half a token — still rejected.
+	if b.Admit(500 * sim.Millisecond) {
+		t.Fatal("admitted on a fractional token")
+	}
+	// Another 0.6s completes the token (fractional refill accumulates).
+	if !b.Admit(1100 * sim.Millisecond) {
+		t.Fatal("rejected after a full token accumulated")
+	}
+	// Refill clamps at capacity: a long gap buys at most 2 admissions.
+	if !b.Admit(100*sim.Second) || !b.Admit(100*sim.Second) {
+		t.Fatal("rejected within refilled capacity")
+	}
+	if b.Admit(100 * sim.Second) {
+		t.Fatal("bucket exceeded its capacity after a long idle gap")
+	}
+}
+
+func TestTokenBucketOutOfOrderPanics(t *testing.T) {
+	b := TokenBucket(4, 1)
+	b.Admit(1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Admit did not panic")
+		}
+	}()
+	b.Admit(500)
+}
