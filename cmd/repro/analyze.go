@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"contsteal/internal/core"
+	"contsteal/internal/experiments"
 	"contsteal/internal/sim"
 )
 
@@ -49,7 +50,7 @@ func (a *app) analyze(path string) error {
 	}
 	fmt.Fprintf(a.stdout, "\n== Delay attribution: %s (%d workers, exec %v) ==\n",
 		path, tr.Workers, tr.ExecTime)
-	w := a.tw()
+	w := experiments.NewTW(a.stdout)
 	fmt.Fprintln(w, "rank\tbusy\tsteal-search\tsteal-xfer\toj-wait\tother\tfabric-wait\tperturb\tsteals\tfails\tresumes")
 	var tot core.RankAttribution
 	for _, r := range att {
@@ -82,7 +83,7 @@ func (a *app) analyze(path string) error {
 	// The cross-check: every trace-derived total must equal its
 	// counter-derived Check value exactly.
 	ck := tr.Check
-	cw := a.tw()
+	cw := experiments.NewTW(a.stdout)
 	fmt.Fprintln(a.stdout, "\nCross-check against run statistics (Table II counters):")
 	fmt.Fprintln(cw, "quantity\tfrom trace\tfrom counters")
 	fmt.Fprintf(cw, "busy time\t%v\t%v\n", tot.Busy, ck.BusyTime)

@@ -15,8 +15,27 @@
 //	repro serve  [-machine ...] [-workers N] [-requests R] [-loads 0.1,0.5,1,2]
 //	             [-systems ours,saws,charm,glb] [-arrivals poisson,mmpp]
 //	             [-admits always,token] [-horizon-us U]
-//	repro all    (runs everything at default scale)
+//	repro all    (runs the manifest's paper grid, honoring explicit flags)
+//	repro run    [-scale smoke|paper] [-only fig6,serve] [-out paper_runs]
+//	             [-stamp NAME] [-manifest FILE] [-goldens DIR]
+//	repro validate <run-dir>     (re-check a run folder against the goldens)
 //	repro analyze <trace.json>   (delay attribution from a -trace file)
+//
+// Every experiment is registered as a manifest spec (internal/manifest):
+// the per-experiment subcommands, `repro all`, and `repro run` all dispatch
+// through the same registry, so a flag given explicitly on the command line
+// overrides the spec's defaults everywhere — including `repro fig9 -machine
+// itoa` and `repro all -tree T1XXL`, which earlier versions silently
+// discarded.
+//
+// `repro run` executes the committed experiments.json manifest at a named
+// scale into a timestamped paper_runs/<stamp>/ folder (tables, TSV series,
+// JSON rows, metrics registries), validates every series byte-for-byte
+// against the committed golden fixtures, and emits a schema-checked
+// BENCH_<stamp>.json perf artifact (virtual-event throughput, protocol
+// handoffs, cross-shard traffic per experiment). The smoke scale reproduces
+// the golden fixtures in minutes; the paper scale runs every figure and
+// table at default size.
 //
 // Fault injection: -perturb "jitter=0.5,straggler=0.25,sfactor=3,drop=0.01,
 // seed=1" overlays a deterministic perturbation model (topo.Perturb) on any
@@ -54,17 +73,31 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
-	"text/tabwriter"
 	"time"
 
 	"contsteal/internal/experiments"
+	"contsteal/internal/manifest"
 	"contsteal/internal/sim"
 	"contsteal/internal/topo"
 )
+
+// defaultGoldens locates the committed golden fixtures relative to the
+// working directory: the repo root or cmd/repro itself. (Several fixture
+// names contain an apostrophe — the UTS "T1L'" tree tag — which go:embed
+// rejects, so the fixtures stay on disk.) Outside the repo, pass -goldens.
+func defaultGoldens() (manifest.Goldens, error) {
+	for _, dir := range []string{"cmd/repro/testdata", "testdata"} {
+		if _, err := os.Stat(dir + "/fig6_pfor_itoa.tsv"); err == nil {
+			return manifest.DirGoldens(dir), nil
+		}
+	}
+	return nil, fmt.Errorf("cannot locate the committed golden fixtures: run from the repo root, or pass -goldens DIR or -no-validate")
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -90,7 +123,7 @@ type section struct {
 }
 
 func usageErr() error {
-	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|serve|all|analyze} [flags]")
+	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|serve|all|run|validate|analyze} [flags]")
 }
 
 // run executes one repro invocation against the given writers. All tables
@@ -100,6 +133,17 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return usageErr()
 	}
 	cmd, args := argv[0], argv[1:]
+	switch cmd {
+	case "run":
+		return runPipeline(args, stdout, stderr)
+	case "validate":
+		return runValidate(args, stdout, stderr)
+	}
+	spec := manifest.Lookup(cmd)
+	if spec == nil && cmd != "all" && cmd != "analyze" {
+		return usageErr()
+	}
+
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "recpfor", "pfor or recpfor")
@@ -134,12 +178,6 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	machineSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "machine" {
-			machineSet = true
-		}
-	})
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -179,28 +217,70 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
 	}
-	o := experiments.Options{
-		Machine: *machine, Workers: *workers, Scale: *scale, Seed: *seed,
-		WorkScale: *workScale, DequeCap: *dequeCap, Parallel: *parallel,
-		Shards: *shards,
+	sweep, err := parseList(*workersList)
+	if err != nil {
+		return err
+	}
+	loadList, err := parseFloats(*loads)
+	if err != nil {
+		return err
 	}
 	pb, err := topo.ParsePerturb(*perturbSpec)
 	if err != nil {
 		return err
 	}
-	o.Perturb = pb
 	if *traceFormat != "json" && *traceFormat != "chrome" {
 		return fmt.Errorf("unknown -trace-format %q (want json or chrome)", *traceFormat)
 	}
+
+	// Only explicitly-set flags enter the Params overlay, so spec defaults
+	// apply to everything else and an explicit flag wins everywhere — the
+	// old dispatch discarded e.g. `fig9 -machine itoa` and `all -tree ...`.
+	var fp manifest.Params
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "bench":
+			fp.Bench = *bench
+		case "machine":
+			fp.Machine = *machine
+		case "workers":
+			fp.Workers = *workers
+		case "scale":
+			fp.Scale = *scale
+		case "tree":
+			fp.Tree = *tree
+		case "seqdepth":
+			fp.SeqDepth = *seqDepth
+		case "workers-list":
+			fp.WorkersList = sweep
+		case "n":
+			fp.N = *n
+		case "seed":
+			fp.Seed = *seed
+		case "workscale":
+			fp.WorkScale = *workScale
+		case "dequecap":
+			fp.DequeCap = *dequeCap
+		case "requests":
+			fp.Requests = *requests
+		case "loads":
+			fp.Loads = loadList
+		case "systems":
+			fp.Systems = splitNames(*systems)
+		case "arrivals":
+			fp.Arrivals = splitNames(*arrivals)
+		case "admits":
+			fp.Admits = splitNames(*admits)
+		case "horizon-us":
+			fp.HorizonUs = *horizonUs
+		}
+	})
+
 	var obsCol *experiments.ObsCollector
 	if *tracePath != "" || *metricsPath != "" {
 		obsCol = &experiments.ObsCollector{Trace: *tracePath != "", Metrics: *metricsPath != ""}
-		o.Obs = obsCol
 	}
-	sweep, err := parseList(*workersList)
-	if err != nil {
-		return err
-	}
+	exec := manifest.Exec{Parallel: *parallel, Shards: *shards, Perturb: pb, Obs: obsCol}
 	a := &app{stdout: stdout, stderr: stderr, tsvDir: *tsvDir, jsonPath: *jsonPath}
 
 	if !*quiet {
@@ -221,70 +301,183 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		defer func() { experiments.EngineStats = nil }()
 	}
 
-	var fig6NS []int
-	if *n != 0 {
-		fig6NS = []int{*n}
-	}
-
-	switch cmd {
-	case "fig6":
-		a.printFig6(experiments.Fig6(o, *bench, fig6NS))
-	case "table2":
-		a.printTable2(experiments.Table2(o, *bench, *n))
-	case "fig7":
-		a.printFig7(experiments.Fig7(o, *n))
-	case "fig8":
-		a.printFig8("Fig. 8: UTS throughput on "+*machine, experiments.Fig8(o, *tree, sweep, *seqDepth))
-	case "fig9":
-		o2 := o
-		if *machine == "itoa" {
-			o2.Machine = "wisteria"
-		}
-		a.printFig8("Fig. 9: UTS throughput (ours) on "+o2.Machine, experiments.Fig9(o2, *tree, sweep, *seqDepth))
-	case "table3":
-		a.printTable3(experiments.Table3(o, nil))
-	case "fig12":
-		a.printFig12(experiments.Fig12(o, nil, sweep))
-	case "resilience":
-		o2 := o
-		if !machineSet {
-			o2.Machine = "" // sweep both machines unless -machine was given
-		}
-		a.printResilience(experiments.Resilience(o2, *tree, *seqDepth))
-	case "serve":
-		p, err := serveParams(*requests, *loads, *systems, *arrivals, *admits, *horizonUs)
+	switch {
+	case spec != nil:
+		r, err := spec.Run(fp, exec)
 		if err != nil {
 			return err
 		}
-		a.printServe(experiments.Serve(o, p))
-	case "all":
-		for _, b := range []string{"pfor", "recpfor"} {
-			a.printFig6(experiments.Fig6(o, b, fig6NS))
-			a.printTable2(experiments.Table2(o, b, 0))
+		a.emit(spec, r)
+	case cmd == "all":
+		entries, err := manifest.Default().Entries("paper")
+		if err != nil {
+			return err
 		}
-		a.printFig7(experiments.Fig7(o, 0))
-		a.printFig8("Fig. 8: UTS throughput on itoa", experiments.Fig8(o, *tree, sweep, *seqDepth))
-		o2 := o
-		o2.Machine = "wisteria"
-		a.printFig8("Fig. 9: UTS throughput (ours) on wisteria", experiments.Fig9(o2, *tree, sweep, *seqDepth))
-		a.printTable3(experiments.Table3(o, nil))
-		a.printFig12(experiments.Fig12(o, nil, nil))
-		o3 := o
-		o3.Machine = "" // both machines
-		a.printResilience(experiments.Resilience(o3, *tree, *seqDepth))
-		a.printServe(experiments.Serve(o, experiments.ServeParams{}))
-	case "analyze":
+		for _, e := range entries {
+			sp := manifest.Lookup(e.Experiment)
+			r, err := sp.Run(e.Params.Merge(fp), exec)
+			if err != nil {
+				return err
+			}
+			a.emit(sp, r)
+		}
+	case cmd == "analyze":
 		if fs.NArg() != 1 {
 			return fmt.Errorf("usage: repro analyze <trace.json>")
 		}
 		return a.analyze(fs.Arg(0))
-	default:
-		return usageErr()
 	}
 	if err := a.writeObs(obsCol, *tracePath, *traceFormat, *metricsPath); err != nil {
 		return err
 	}
 	return a.writeJSON()
+}
+
+// emit renders one experiment result: record its rows for the JSON dump,
+// print the aligned table, and write each TSV series when -tsv was given.
+// An empty Section means an empty sweep — nothing to emit.
+func (a *app) emit(spec *manifest.Spec, r experiments.Rendering) {
+	if r.Section() == "" {
+		return
+	}
+	a.record(r.Section(), r.Rows())
+	spec.Print(a.stdout, r)
+	for _, s := range r.Series() {
+		a.writeSeries(s)
+	}
+}
+
+// runPipeline is `repro run`: execute the manifest at a scale into a
+// timestamped run folder, validate against the committed goldens, and emit
+// the BENCH artifact. A golden mismatch is a non-zero exit.
+func runPipeline(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "smoke", "manifest scale to run (smoke or paper)")
+	only := fs.String("only", "", "comma-separated entry IDs or experiment names to run (default: all)")
+	out := fs.String("out", "paper_runs", "parent directory for run folders")
+	stamp := fs.String("stamp", "", "run folder name (default: UTC timestamp)")
+	manifestPath := fs.String("manifest", "", "manifest JSON file (default: the committed experiments.json built into the binary)")
+	goldensDir := fs.String("goldens", "", "golden fixtures directory (default: the committed fixtures built into the binary)")
+	noValidate := fs.Bool("no-validate", false, "skip golden validation")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "host worker pool for each entry's sweep grid")
+	shards := fs.Int("shards", 1, "per-node event-heap shards (entry params override; results identical)")
+	perturbSpec := fs.String("perturb", "", "deterministic fault injection overlay (see the experiment subcommands)")
+	quiet := fs.Bool("quiet", false, "suppress per-entry and per-job progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: repro run [-scale smoke|paper] [-only ...] [flags]")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	if *parallel == 1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
+	pb, err := topo.ParsePerturb(*perturbSpec)
+	if err != nil {
+		return err
+	}
+	m := manifest.Default()
+	if *manifestPath != "" {
+		data, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			return err
+		}
+		if m, err = manifest.Parse(data); err != nil {
+			return err
+		}
+	}
+	entries, err := m.Select(*scale, splitNames(*only))
+	if err != nil {
+		return err
+	}
+	var goldens manifest.Goldens
+	switch {
+	case *noValidate:
+	case *goldensDir != "":
+		goldens = manifest.DirGoldens(*goldensDir)
+	default:
+		if goldens, err = defaultGoldens(); err != nil {
+			return err
+		}
+	}
+	st := *stamp
+	if st == "" {
+		st = time.Now().UTC().Format("20060102T150405")
+	}
+	rn := &manifest.Runner{
+		Stamp: st, Scale: *scale, OutDir: *out, Goldens: goldens,
+		Exec:   manifest.Exec{Parallel: *parallel, Shards: *shards, Perturb: pb},
+		Stdout: stdout, Stderr: stderr, Quiet: *quiet,
+	}
+	rep, err := rn.Run(entries)
+	if err != nil {
+		return err
+	}
+	if rep.Mismatches > 0 {
+		return fmt.Errorf("repro run: %d series mismatch the committed goldens (see report above)", rep.Mismatches)
+	}
+	return nil
+}
+
+// runValidate is `repro validate <run-dir>`: re-check every TSV series of
+// an existing run folder against the goldens and print a diff report.
+func runValidate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	goldensDir := fs.String("goldens", "", "golden fixtures directory (default: the committed fixtures built into the binary)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: repro validate [-goldens DIR] <run-dir>")
+	}
+	var goldens manifest.Goldens
+	var err error
+	if *goldensDir != "" {
+		goldens = manifest.DirGoldens(*goldensDir)
+	} else if goldens, err = defaultGoldens(); err != nil {
+		return err
+	}
+	checks, err := manifest.ValidateDir(fs.Arg(0), goldens)
+	if err != nil {
+		return err
+	}
+	ok, mismatches, noGolden := 0, 0, 0
+	for _, c := range checks {
+		switch c.Status {
+		case "ok":
+			ok++
+			fmt.Fprintf(stdout, "ok        %s/%s\n", c.Entry, c.Name)
+		case "mismatch":
+			mismatches++
+			fmt.Fprintf(stdout, "MISMATCH  %s/%s: %s\n", c.Entry, c.Name, c.Diff)
+		default:
+			noGolden++
+			fmt.Fprintf(stdout, "no-golden %s/%s\n", c.Entry, c.Name)
+		}
+	}
+	fmt.Fprintf(stdout, "%d series checked: %d ok, %d mismatches, %d without goldens\n",
+		len(checks), ok, mismatches, noGolden)
+	// A run folder also carries its BENCH artifact; re-check its schema.
+	benches, _ := filepath.Glob(filepath.Join(fs.Arg(0), "bench", "BENCH_*.json"))
+	for _, path := range benches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := manifest.ParseBench(data); err != nil {
+			return fmt.Errorf("repro validate: %s: %w", path, err)
+		}
+		fmt.Fprintf(stdout, "bench ok  %s (schema %s)\n", path, manifest.BenchSchema)
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("repro validate: %d series mismatch the goldens", mismatches)
+	}
+	return nil
 }
 
 // writeObs writes the collected trace and/or metrics files.
@@ -362,8 +555,9 @@ func (a *app) writeJSON() error {
 	return nil
 }
 
-// writeTSV writes rows of tab-separated values for external plotting.
-func (a *app) writeTSV(name string, header []string, rows [][]string) {
+// writeSeries writes one TSV series for external plotting when -tsv was
+// given.
+func (a *app) writeSeries(s experiments.Series) {
 	if a.tsvDir == "" {
 		return
 	}
@@ -371,65 +565,27 @@ func (a *app) writeTSV(name string, header []string, rows [][]string) {
 		fmt.Fprintln(a.stderr, "tsv:", err)
 		return
 	}
-	f, err := os.Create(a.tsvDir + "/" + name + ".tsv")
+	f, err := os.Create(a.tsvDir + "/" + s.Name + ".tsv")
 	if err != nil {
 		fmt.Fprintln(a.stderr, "tsv:", err)
 		return
 	}
 	defer f.Close()
-	fmt.Fprintln(f, strings.Join(header, "\t"))
-	for _, r := range rows {
-		fmt.Fprintln(f, strings.Join(r, "\t"))
-	}
-	fmt.Fprintf(a.stdout, "(series written to %s/%s.tsv)\n", a.tsvDir, name)
+	s.Write(f)
+	fmt.Fprintf(a.stdout, "(series written to %s/%s.tsv)\n", a.tsvDir, s.Name)
 }
 
-// serveParams assembles the serve sweep grid from its CLI flags; empty
-// flags keep the experiment's defaults.
-func serveParams(requests int, loads, systems, arrivals, admits string, horizonUs float64) (experiments.ServeParams, error) {
-	p := experiments.ServeParams{Requests: requests}
-	var err error
-	if p.Loads, err = parseFloats(loads); err != nil {
-		return p, err
-	}
-	if p.Systems, err = checkNames("-systems", systems, "ours", "saws", "charm", "glb"); err != nil {
-		return p, err
-	}
-	if p.Processes, err = checkNames("-arrivals", arrivals, "poisson", "mmpp"); err != nil {
-		return p, err
-	}
-	if p.Admits, err = checkNames("-admits", admits, "always", "token"); err != nil {
-		return p, err
-	}
-	if horizonUs < 0 {
-		return p, fmt.Errorf("-horizon-us must be non-negative, got %g", horizonUs)
-	}
-	p.Horizon = sim.Time(horizonUs * float64(sim.Microsecond))
-	return p, nil
-}
-
-// checkNames splits a comma-separated name list and rejects anything not in
-// the allowed set; "" keeps the default nil.
-func checkNames(flag, s string, allowed ...string) ([]string, error) {
+// splitNames splits a comma-separated name list; "" keeps the default nil.
+// Validation happens in the experiment specs.
+func splitNames(s string) []string {
 	if s == "" {
-		return nil, nil
+		return nil
 	}
 	var out []string
 	for _, part := range strings.Split(s, ",") {
-		name := strings.TrimSpace(part)
-		ok := false
-		for _, a := range allowed {
-			if name == a {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return nil, fmt.Errorf("%s: unknown name %q (want one of %s)", flag, name, strings.Join(allowed, ", "))
-		}
-		out = append(out, name)
+		out = append(out, strings.TrimSpace(part))
 	}
-	return out, nil
+	return out
 }
 
 // parseFloats parses a comma-separated float list; "" keeps the default nil.
@@ -461,188 +617,4 @@ func parseList(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func (a *app) tw() *tabwriter.Writer {
-	return tabwriter.NewWriter(a.stdout, 2, 4, 2, ' ', 0)
-}
-
-func (a *app) printFig6(rows []experiments.Fig6Row) {
-	if len(rows) == 0 {
-		return
-	}
-	name := "fig6_" + rows[0].Bench + "_" + rows[0].Machine
-	a.record(name, rows)
-	fmt.Fprintf(a.stdout, "\n== Fig. 6: %s parallel efficiency on %s ==\n", rows[0].Bench, rows[0].Machine)
-	w := a.tw()
-	fmt.Fprintln(w, "N\tvariant\tideal(T1/P)\texec\tefficiency")
-	var tsv [][]string
-	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%v\t%v\t%.3f\n", r.N, r.Variant, r.IdealTime, r.ExecTime, r.Efficiency)
-		tsv = append(tsv, []string{
-			fmt.Sprint(r.N), r.Variant,
-			fmt.Sprintf("%.6f", r.IdealTime.Seconds()),
-			fmt.Sprintf("%.6f", r.ExecTime.Seconds()),
-			fmt.Sprintf("%.4f", r.Efficiency)})
-	}
-	w.Flush()
-	a.writeTSV(name, []string{"N", "variant", "ideal_s", "exec_s", "efficiency"}, tsv)
-}
-
-func (a *app) printTable2(rows []experiments.Table2Row) {
-	if len(rows) == 0 {
-		return
-	}
-	a.record("table2_"+rows[0].Bench+"_"+rows[0].Machine, rows)
-	fmt.Fprintf(a.stdout, "\n== Table II: join/steal statistics, %s on %s ==\n", rows[0].Bench, rows[0].Machine)
-	w := a.tw()
-	fmt.Fprintln(w, "strategy\texec\t#OJ\tavgOJtime\t#steals(ok)\tavgLatency\t#steals(fail)\tavgStolen\tavgCopy")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%v\t%d\t%v\t%d\t%v\t%d\t%.0fB\t%v\n",
-			r.Variant, r.ExecTime, r.OutstandingJoins, r.AvgOutstandingTime,
-			r.StealsOK, r.AvgStealLatency, r.StealsFailed, r.AvgStolenBytes, r.AvgTaskCopyTime)
-	}
-	w.Flush()
-}
-
-func (a *app) printFig7(res experiments.Fig7Result) {
-	a.record("fig7", res)
-	fmt.Fprintf(a.stdout, "\n== Fig. 7: RecPFor scheduler activity time series (%d workers) ==\n", res.Workers)
-	fmt.Fprintln(a.stdout, "t(ms)\tbusy[greedy]\treadyOJ[greedy]\tbusy[child-full]\treadyOJ[child-full]")
-	n := len(res.ContGreedy)
-	if len(res.ChildFull) > n {
-		n = len(res.ChildFull)
-	}
-	for i := 0; i < n; i++ {
-		var t float64
-		bg, rg, bc, rc := "", "", "", ""
-		if i < len(res.ContGreedy) {
-			s := res.ContGreedy[i]
-			t = s.T.Seconds() * 1e3
-			bg, rg = fmt.Sprint(s.Busy), fmt.Sprint(s.Ready)
-		}
-		if i < len(res.ChildFull) {
-			s := res.ChildFull[i]
-			t = s.T.Seconds() * 1e3
-			bc, rc = fmt.Sprint(s.Busy), fmt.Sprint(s.Ready)
-		}
-		fmt.Fprintf(a.stdout, "%.1f\t%s\t%s\t%s\t%s\n", t, bg, rg, bc, rc)
-	}
-}
-
-func (a *app) printFig8(title string, rows []experiments.Fig8Row) {
-	if len(rows) == 0 {
-		return
-	}
-	name := "uts_" + rows[0].Tree + "_" + rows[0].Machine
-	a.record(name, rows)
-	fmt.Fprintf(a.stdout, "\n== %s, tree %s (%d nodes) ==\n", title, rows[0].Tree, rows[0].Nodes)
-	w := a.tw()
-	fmt.Fprintln(w, "system\tworkers\texec\tthroughput(Mnodes/s)\tefficiency")
-	var tsv [][]string
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%v\t%.2f\t%.3f\n",
-			r.System, r.Workers, r.ExecTime, r.Throughput/1e6, r.Efficiency)
-		tsv = append(tsv, []string{
-			r.System, fmt.Sprint(r.Workers),
-			fmt.Sprintf("%.6f", r.ExecTime.Seconds()),
-			fmt.Sprintf("%.3f", r.Throughput/1e6),
-			fmt.Sprintf("%.4f", r.Efficiency)})
-	}
-	w.Flush()
-	a.writeTSV(name, []string{"system", "workers", "exec_s", "Mnodes_per_s", "efficiency"}, tsv)
-}
-
-func (a *app) printResilience(rows []experiments.ResilienceRow) {
-	if len(rows) == 0 {
-		return
-	}
-	machLabel := rows[0].Machine
-	for _, r := range rows {
-		if r.Machine != machLabel {
-			machLabel = "all"
-			break
-		}
-	}
-	name := "resilience_" + rows[0].Tree + "_" + machLabel
-	a.record(name, rows)
-	fmt.Fprintf(a.stdout, "\n== Resilience: UTS slowdown under fault injection (%s) ==\n", machLabel)
-	w := a.tw()
-	fmt.Fprintln(w, "machine\tsystem\tscenario\tlevel\texec\tslowdown\tdrops\tretrans")
-	var tsv [][]string
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%g\t%v\t%.3f\t%d\t%d\n",
-			r.Machine, r.System, r.Scenario, r.Level, r.ExecTime, r.Slowdown, r.Drops, r.Retrans)
-		tsv = append(tsv, []string{
-			r.Machine, r.System, r.Scenario,
-			fmt.Sprintf("%g", r.Level),
-			fmt.Sprintf("%.6f", r.ExecTime.Seconds()),
-			fmt.Sprintf("%.4f", r.Slowdown),
-			fmt.Sprint(r.Drops), fmt.Sprint(r.Retrans)})
-	}
-	w.Flush()
-	a.writeTSV(name, []string{"machine", "system", "scenario", "level", "exec_s", "slowdown", "drops", "retrans"}, tsv)
-}
-
-func (a *app) printServe(rows []experiments.ServeRow) {
-	if len(rows) == 0 {
-		return
-	}
-	machLabel := rows[0].Machine
-	for _, r := range rows {
-		if r.Machine != machLabel {
-			machLabel = "all"
-			break
-		}
-	}
-	name := "serve_" + machLabel
-	a.record(name, rows)
-	fmt.Fprintf(a.stdout, "\n== Serving: open-system sojourn latency and goodput on %s ==\n", machLabel)
-	w := a.tw()
-	fmt.Fprintln(w, "system\tarrivals\tadmit\tload\toffered(rps)\tadm\trej\tdone\tinflight\tp50\tp99\tp999\tgoodput(rps)")
-	var tsv [][]string
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%g\t%.0f\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%.0f\n",
-			r.System, r.Process, r.Admit, r.Load, r.OfferedRps,
-			r.Admitted, r.Rejected, r.Completed, r.InFlight,
-			r.P50, r.P99, r.P999, r.GoodputRps)
-		tsv = append(tsv, []string{
-			r.Machine, r.System, r.Process, r.Admit,
-			fmt.Sprintf("%g", r.Load),
-			fmt.Sprintf("%.3f", r.OfferedRps),
-			fmt.Sprint(r.Requests), fmt.Sprint(r.Admitted), fmt.Sprint(r.Rejected),
-			fmt.Sprint(r.Injected), fmt.Sprint(r.Completed), fmt.Sprint(r.InFlight),
-			fmt.Sprint(int64(r.P50)), fmt.Sprint(int64(r.P99)), fmt.Sprint(int64(r.P999)),
-			fmt.Sprint(int64(r.MeanSojourn)), fmt.Sprint(int64(r.MaxSojourn)),
-			fmt.Sprintf("%.6f", r.Makespan.Seconds()),
-			fmt.Sprintf("%.3f", r.GoodputRps)})
-	}
-	w.Flush()
-	a.writeTSV(name, []string{
-		"machine", "system", "process", "admit", "load", "offered_rps",
-		"requests", "admitted", "rejected", "injected", "completed", "inflight",
-		"p50_ns", "p99_ns", "p999_ns", "mean_ns", "max_ns", "makespan_s", "goodput_rps"}, tsv)
-}
-
-func (a *app) printTable3(rows []experiments.Table3Row) {
-	a.record("table3", rows)
-	fmt.Fprintf(a.stdout, "\n== Table III: LCS execution times ==\n")
-	w := a.tw()
-	fmt.Fprintln(w, "N\tscheduler\texec")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%v\n", r.N, r.Variant, r.ExecTime)
-	}
-	w.Flush()
-}
-
-func (a *app) printFig12(rows []experiments.Fig12Row) {
-	a.record("fig12", rows)
-	fmt.Fprintf(a.stdout, "\n== Fig. 12: LCS vs greedy-scheduling-theorem bounds ==\n")
-	w := a.tw()
-	fmt.Fprintln(w, "N\tworkers\texec\tlower=max(T1/P,Tinf)\tupper=T1/P+Tinf\tin-band")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%v\t%v\n",
-			r.N, r.Workers, r.ExecTime, r.LowerBound, r.UpperBound, r.InBand)
-	}
-	w.Flush()
 }

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"contsteal/internal/manifest"
+)
+
+// runSmoke executes `repro run -scale smoke` into a scratch directory with
+// the given extra flags and returns the run folder path.
+func runSmoke(t *testing.T, extra ...string) string {
+	t.Helper()
+	out := t.TempDir()
+	args := append([]string{"run", "-scale", "smoke", "-out", out, "-stamp", "t", "-quiet"}, extra...)
+	var stdout bytes.Buffer
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("repro %s: %v\n%s", strings.Join(args, " "), err, stdout.String())
+	}
+	return filepath.Join(out, "t")
+}
+
+// snapshotRun collects the deterministic portion of a run folder: every file
+// under tsv/, json/ and metrics/, plus tables.txt and manifest.json. The
+// bench/ artifact and summary.tsv carry wall-clock times and are excluded.
+func snapshotRun(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	files := map[string]string{}
+	read := func(rel string) {
+		b, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[rel] = string(b)
+	}
+	read("tables.txt")
+	read("manifest.json")
+	for _, sub := range []string{"tsv", "json", "metrics"} {
+		err := filepath.WalkDir(filepath.Join(dir, sub), func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(dir, path)
+			if err != nil {
+				return err
+			}
+			read(rel)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+// diffSnapshots fails the test unless the two run folders hold identical
+// deterministic outputs, using manifest.Diff to localise any divergence.
+func diffSnapshots(t *testing.T, label string, a, b map[string]string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("%s: run folders hold %d vs %d deterministic files", label, len(a), len(b))
+	}
+	for rel, want := range a {
+		got, ok := b[rel]
+		if !ok {
+			t.Errorf("%s: %s missing from second run", label, rel)
+			continue
+		}
+		if d := manifest.Diff([]byte(got), []byte(want)); d != "" {
+			t.Errorf("%s: %s diverges: %s", label, rel, d)
+		}
+	}
+}
+
+// TestPipelineSmoke is the end-to-end contract of `repro run`: the smoke
+// scale runs every registered experiment, self-validates byte-for-byte
+// against the committed goldens, emits a schema-valid BENCH artifact, and
+// its deterministic outputs are identical across host-parallelism widths
+// and engine shard counts.
+func TestPipelineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration smoke pipeline is slow")
+	}
+	base := runSmoke(t, "-parallel", "8")
+	snap := snapshotRun(t, base)
+
+	// Self-validation already ran inside `repro run` (a mismatch is a
+	// non-zero exit); `repro validate` must independently agree.
+	var vout bytes.Buffer
+	if err := run([]string{"validate", base}, &vout, io.Discard); err != nil {
+		t.Fatalf("repro validate %s: %v\n%s", base, err, vout.String())
+	}
+	if !strings.Contains(vout.String(), "0 mismatches") {
+		t.Errorf("validate report: %s", vout.String())
+	}
+	if !strings.Contains(vout.String(), "bench ok") {
+		t.Errorf("validate did not schema-check the BENCH artifact: %s", vout.String())
+	}
+
+	// The BENCH artifact parses strictly and covers the whole registry,
+	// with the fig9 shard ladder present at shards 1, 2 and 4.
+	data, err := os.ReadFile(filepath.Join(base, "bench", "BENCH_t.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := manifest.ParseBench(data)
+	if err != nil {
+		t.Fatalf("BENCH artifact invalid: %v", err)
+	}
+	ran := map[string]bool{}
+	shardsOf := map[string]int{}
+	var fig9Events []uint64
+	for _, e := range bench.Entries {
+		ran[e.Experiment] = true
+		shardsOf[e.ID] = e.Shards
+		if e.Experiment == "fig9" {
+			fig9Events = append(fig9Events, e.Events)
+		}
+	}
+	for _, name := range manifest.Names() {
+		if !ran[name] {
+			t.Errorf("smoke BENCH lacks experiment %q", name)
+		}
+	}
+	for id, want := range map[string]int{"fig9": 1, "fig9_shards2": 2, "fig9_shards4": 4} {
+		if shardsOf[id] != want {
+			t.Errorf("BENCH entry %s ran at shards=%d, want %d", id, shardsOf[id], want)
+		}
+	}
+	for i := 1; i < len(fig9Events); i++ {
+		if fig9Events[i] != fig9Events[0] {
+			t.Errorf("fig9 event counts differ across shard ladder: %v", fig9Events)
+		}
+	}
+	for _, id := range []string{"serve_itoa", "serve_wisteria"} {
+		found := false
+		for _, e := range bench.Entries {
+			if e.ID == id {
+				found = true
+				if e.Summary["saturation_goodput_rps"] <= 0 {
+					t.Errorf("%s summary lacks saturation_goodput_rps: %v", id, e.Summary)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("BENCH lacks entry %s", id)
+		}
+	}
+
+	// Byte-identity of the deterministic outputs across execution knobs.
+	seq := runSmoke(t, "-parallel", "1")
+	diffSnapshots(t, "parallel 8 vs 1", snap, snapshotRun(t, seq))
+	sharded := runSmoke(t, "-parallel", "8", "-shards", "4")
+	diffSnapshots(t, "shards 1 vs 4", snap, snapshotRun(t, sharded))
+}
+
+// TestValidateDetectsMismatch corrupts one byte of a produced series and
+// checks that `repro validate` localises it with a line/offset diff report.
+func TestValidateDetectsMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a pipeline entry")
+	}
+	dir := runSmoke(t, "-only", "fig6_pfor")
+	path := filepath.Join(dir, "tsv", "fig6_pfor", "fig6_pfor_itoa.tsv")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 1
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var vout bytes.Buffer
+	err = run([]string{"validate", dir}, &vout, io.Discard)
+	if err == nil {
+		t.Fatalf("validate accepted a corrupted series:\n%s", vout.String())
+	}
+	if !strings.Contains(vout.String(), "MISMATCH") ||
+		!strings.Contains(vout.String(), "byte offset") ||
+		!strings.Contains(vout.String(), "line ") {
+		t.Errorf("mismatch report lacks localisation: %s", vout.String())
+	}
+}
+
+// TestFig9MachineOverride is the CLI-level regression test for the dispatch
+// bug fixed by the registry refactor: `repro fig9 -machine itoa` used to
+// silently flip back to wisteria (and `repro all` ignored -machine/-tree
+// overrides entirely).
+func TestFig9MachineOverride(t *testing.T) {
+	fig9 := func(extra ...string) (string, string) {
+		t.Helper()
+		dir := t.TempDir()
+		args := append([]string{"fig9", "-workers-list", "4", "-seqdepth", "10", "-seed", "7",
+			"-tsv", dir, "-quiet", "-parallel", "1"}, extra...)
+		var stdout bytes.Buffer
+		if err := run(args, &stdout, io.Discard); err != nil {
+			t.Fatalf("repro %s: %v", strings.Join(args, " "), err)
+		}
+		names, _ := filepath.Glob(filepath.Join(dir, "*.tsv"))
+		for i, n := range names {
+			names[i] = filepath.Base(n)
+		}
+		return stdout.String(), strings.Join(names, ",")
+	}
+	out, series := fig9("-machine", "itoa", "-tree", "T1L")
+	if !strings.Contains(out, "on itoa") || series != "uts_T1L'_itoa.tsv" {
+		t.Errorf("fig9 -machine itoa -tree T1L produced series %q:\n%s", series, out)
+	}
+	out, series = fig9()
+	if !strings.Contains(out, "on wisteria") || series != "uts_T1L'_wisteria.tsv" {
+		t.Errorf("fig9 default produced series %q:\n%s", series, out)
+	}
+}
+
+// TestCommittedBench pins the BENCH_0007.json artifact committed at the
+// repo root: it must satisfy the strict schema and carry the fig9 shard
+// ladder plus both serve saturation summaries.
+func TestCommittedBench(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_0007.json"))
+	if err != nil {
+		t.Fatalf("committed BENCH artifact missing: %v", err)
+	}
+	b, err := manifest.ParseBench(data)
+	if err != nil {
+		t.Fatalf("committed BENCH artifact invalid: %v", err)
+	}
+	if b.Scale != "smoke" {
+		t.Errorf("committed BENCH scale = %q, want smoke", b.Scale)
+	}
+	ids := map[string]bool{}
+	for _, e := range b.Entries {
+		ids[e.ID] = true
+	}
+	for _, id := range []string{"fig9", "fig9_shards2", "fig9_shards4", "serve_itoa", "serve_wisteria"} {
+		if !ids[id] {
+			t.Errorf("committed BENCH lacks entry %s", id)
+		}
+	}
+}

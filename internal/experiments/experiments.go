@@ -193,10 +193,12 @@ func Fig6(o Options, bench string, ns []int) []Fig6Row {
 						o.Obs.apply(&cfg)
 					}
 					rt := core.New(cfg)
+					start := time.Now()
 					_, st := rt.Run(task)
 					if mine {
 						o.Obs.deliver(coord, rt, st)
 					}
+					reportEngine(coord, st, time.Since(start))
 					return Fig6Row{
 						Bench:      bench,
 						Machine:    o.Machine,
@@ -267,10 +269,12 @@ func Table2(o Options, bench string, n int) []Table2Row {
 					o.Obs.apply(&cfg)
 				}
 				rt := core.New(cfg)
+				start := time.Now()
 				_, st := rt.Run(task)
 				if mine {
 					o.Obs.deliver(coord, rt, st)
 				}
+				reportEngine(coord, st, time.Since(start))
 				return Table2Row{
 					Machine:            o.Machine,
 					Bench:              bench,
@@ -326,10 +330,12 @@ func Fig7(o Options, n int) Fig7Result {
 					o.Obs.apply(&cfg)
 				}
 				rt := core.New(cfg)
+				start := time.Now()
 				_, st := rt.Run(workload.RecPFor(p))
 				if mine {
 					o.Obs.deliver(coord, rt, st)
 				}
+				reportEngine(coord, st, time.Since(start))
 				return st.Series
 			},
 		})
@@ -554,10 +560,12 @@ func Table3(o Options, ns []int) []Table3Row {
 						o.Obs.apply(&cfg)
 					}
 					rt := core.New(cfg)
+					start := time.Now()
 					_, st := rt.Run(workload.LCS(p))
 					if mine {
 						o.Obs.deliver(coord, rt, st)
 					}
+					reportEngine(coord, st, time.Since(start))
 					return Table3Row{N: n, Variant: v.Name, ExecTime: st.ExecTime}
 				},
 			})
@@ -607,10 +615,12 @@ func Fig12(o Options, ns []int, workerCounts []int) []Fig12Row {
 						o.Obs.apply(&cfg)
 					}
 					rt := core.New(cfg)
+					start := time.Now()
 					_, st := rt.Run(workload.LCS(p))
 					if mine {
 						o.Obs.deliver(coord, rt, st)
 					}
+					reportEngine(coord, st, time.Since(start))
 					lower := t1 / sim.Time(w)
 					if tinf > lower {
 						lower = tinf

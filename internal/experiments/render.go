@@ -1,0 +1,470 @@
+// Uniform result rendering: every experiment's row set implements Rendering,
+// the serialization surface shared by cmd/repro's table/TSV/JSON emission and
+// the manifest pipeline (internal/manifest). The formats here are
+// byte-for-byte the ones the committed golden TSV fixtures pin — moving them
+// out of cmd/repro's nine ad-hoc print* paths must not change a single byte.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Series is one TSV series of an experiment result, ready for plotting and
+// for byte-exact comparison against a committed golden fixture.
+type Series struct {
+	Name   string
+	Header []string
+	Cells  [][]string
+}
+
+// Write emits the series in the committed TSV format: a header line, then
+// one tab-joined line per row.
+func (s Series) Write(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(s.Header, "\t"))
+	for _, r := range s.Cells {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+}
+
+// Rendering is the uniform serialization surface of an experiment result:
+// a section name and structured rows for the JSON dump, an aligned text
+// table, zero or more TSV series, and key scalar metrics for bench
+// artifacts and summary tables. A Section of "" means "nothing to record"
+// (empty result).
+type Rendering interface {
+	Section() string
+	Rows() any
+	Table(w io.Writer)
+	Series() []Series
+	Summary() map[string]float64
+}
+
+// NewTW is the aligned-table writer every repro table shares.
+func NewTW(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6
+// ---------------------------------------------------------------------------
+
+// Fig6Out renders Fig. 6 rows.
+type Fig6Out []Fig6Row
+
+func (r Fig6Out) Section() string {
+	if len(r) == 0 {
+		return ""
+	}
+	return "fig6_" + r[0].Bench + "_" + r[0].Machine
+}
+
+func (r Fig6Out) Rows() any { return []Fig6Row(r) }
+
+func (r Fig6Out) Table(w io.Writer) {
+	if len(r) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== Fig. 6: %s parallel efficiency on %s ==\n", r[0].Bench, r[0].Machine)
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "N\tvariant\tideal(T1/P)\texec\tefficiency")
+	for _, row := range r {
+		fmt.Fprintf(tw, "%d\t%s\t%v\t%v\t%.3f\n", row.N, row.Variant, row.IdealTime, row.ExecTime, row.Efficiency)
+	}
+	tw.Flush()
+}
+
+func (r Fig6Out) Series() []Series {
+	if len(r) == 0 {
+		return nil
+	}
+	s := Series{Name: r.Section(), Header: []string{"N", "variant", "ideal_s", "exec_s", "efficiency"}}
+	for _, row := range r {
+		s.Cells = append(s.Cells, []string{
+			fmt.Sprint(row.N), row.Variant,
+			fmt.Sprintf("%.6f", row.IdealTime.Seconds()),
+			fmt.Sprintf("%.6f", row.ExecTime.Seconds()),
+			fmt.Sprintf("%.4f", row.Efficiency)})
+	}
+	return []Series{s}
+}
+
+// Summary reports the parallel efficiency of the paper's full system (the
+// greedy variant) at the largest problem size of the sweep.
+func (r Fig6Out) Summary() map[string]float64 {
+	var out map[string]float64
+	for _, row := range r {
+		if row.Variant == "greedy" {
+			out = map[string]float64{"greedy_efficiency": row.Efficiency}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+// Table2Out renders Table II rows.
+type Table2Out []Table2Row
+
+func (r Table2Out) Section() string {
+	if len(r) == 0 {
+		return ""
+	}
+	return "table2_" + r[0].Bench + "_" + r[0].Machine
+}
+
+func (r Table2Out) Rows() any { return []Table2Row(r) }
+
+func (r Table2Out) Table(w io.Writer) {
+	if len(r) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== Table II: join/steal statistics, %s on %s ==\n", r[0].Bench, r[0].Machine)
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "strategy\texec\t#OJ\tavgOJtime\t#steals(ok)\tavgLatency\t#steals(fail)\tavgStolen\tavgCopy")
+	for _, row := range r {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%v\t%d\t%v\t%d\t%.0fB\t%v\n",
+			row.Variant, row.ExecTime, row.OutstandingJoins, row.AvgOutstandingTime,
+			row.StealsOK, row.AvgStealLatency, row.StealsFailed, row.AvgStolenBytes, row.AvgTaskCopyTime)
+	}
+	tw.Flush()
+}
+
+func (r Table2Out) Series() []Series            { return nil }
+func (r Table2Out) Summary() map[string]float64 { return nil }
+
+// ---------------------------------------------------------------------------
+// Fig. 7
+// ---------------------------------------------------------------------------
+
+// Fig7Out renders the Fig. 7 time-series pair.
+type Fig7Out struct{ R Fig7Result }
+
+func (r Fig7Out) Section() string { return "fig7" }
+func (r Fig7Out) Rows() any       { return r.R }
+
+func (r Fig7Out) Table(w io.Writer) {
+	fmt.Fprintf(w, "\n== Fig. 7: RecPFor scheduler activity time series (%d workers) ==\n", r.R.Workers)
+	fmt.Fprintln(w, "t(ms)\tbusy[greedy]\treadyOJ[greedy]\tbusy[child-full]\treadyOJ[child-full]")
+	n := len(r.R.ContGreedy)
+	if len(r.R.ChildFull) > n {
+		n = len(r.R.ChildFull)
+	}
+	for i := 0; i < n; i++ {
+		var t float64
+		bg, rg, bc, rc := "", "", "", ""
+		if i < len(r.R.ContGreedy) {
+			s := r.R.ContGreedy[i]
+			t = s.T.Seconds() * 1e3
+			bg, rg = fmt.Sprint(s.Busy), fmt.Sprint(s.Ready)
+		}
+		if i < len(r.R.ChildFull) {
+			s := r.R.ChildFull[i]
+			t = s.T.Seconds() * 1e3
+			bc, rc = fmt.Sprint(s.Busy), fmt.Sprint(s.Ready)
+		}
+		fmt.Fprintf(w, "%.1f\t%s\t%s\t%s\t%s\n", t, bg, rg, bc, rc)
+	}
+}
+
+func (r Fig7Out) Series() []Series            { return nil }
+func (r Fig7Out) Summary() map[string]float64 { return nil }
+
+// ---------------------------------------------------------------------------
+// Fig. 8 / Fig. 9
+// ---------------------------------------------------------------------------
+
+// Fig8Out renders the UTS strong-scaling rows of Fig. 8 or Fig. 9 (the Fig
+// field selects the title).
+type Fig8Out struct {
+	Fig string // "fig8" or "fig9"
+	R   []Fig8Row
+}
+
+func (r Fig8Out) title() string {
+	m := ""
+	if len(r.R) > 0 {
+		m = r.R[0].Machine
+	}
+	if r.Fig == "fig9" {
+		return "Fig. 9: UTS throughput (ours) on " + m
+	}
+	return "Fig. 8: UTS throughput on " + m
+}
+
+func (r Fig8Out) Section() string {
+	if len(r.R) == 0 {
+		return ""
+	}
+	return "uts_" + r.R[0].Tree + "_" + r.R[0].Machine
+}
+
+func (r Fig8Out) Rows() any { return r.R }
+
+func (r Fig8Out) Table(w io.Writer) {
+	if len(r.R) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== %s, tree %s (%d nodes) ==\n", r.title(), r.R[0].Tree, r.R[0].Nodes)
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "system\tworkers\texec\tthroughput(Mnodes/s)\tefficiency")
+	for _, row := range r.R {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%.2f\t%.3f\n",
+			row.System, row.Workers, row.ExecTime, row.Throughput/1e6, row.Efficiency)
+	}
+	tw.Flush()
+}
+
+func (r Fig8Out) Series() []Series {
+	if len(r.R) == 0 {
+		return nil
+	}
+	s := Series{Name: r.Section(), Header: []string{"system", "workers", "exec_s", "Mnodes_per_s", "efficiency"}}
+	for _, row := range r.R {
+		s.Cells = append(s.Cells, []string{
+			row.System, fmt.Sprint(row.Workers),
+			fmt.Sprintf("%.6f", row.ExecTime.Seconds()),
+			fmt.Sprintf("%.3f", row.Throughput/1e6),
+			fmt.Sprintf("%.4f", row.Efficiency)})
+	}
+	return []Series{s}
+}
+
+// Summary reports the peak virtual-time node throughput across the sweep and
+// our runtime's efficiency at its largest worker count.
+func (r Fig8Out) Summary() map[string]float64 {
+	if len(r.R) == 0 {
+		return nil
+	}
+	out := map[string]float64{}
+	var peak float64
+	oursWorkers := -1
+	for _, row := range r.R {
+		if row.Throughput > peak {
+			peak = row.Throughput
+		}
+		if row.System == "ours" && row.Workers > oursWorkers {
+			oursWorkers = row.Workers
+			out["ours_efficiency"] = row.Efficiency
+		}
+	}
+	out["peak_mnodes_per_s"] = peak / 1e6
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Table III
+// ---------------------------------------------------------------------------
+
+// Table3Out renders Table III rows.
+type Table3Out []Table3Row
+
+func (r Table3Out) Section() string { return "table3" }
+func (r Table3Out) Rows() any       { return []Table3Row(r) }
+
+func (r Table3Out) Table(w io.Writer) {
+	fmt.Fprintf(w, "\n== Table III: LCS execution times ==\n")
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "N\tscheduler\texec")
+	for _, row := range r {
+		fmt.Fprintf(tw, "%d\t%s\t%v\n", row.N, row.Variant, row.ExecTime)
+	}
+	tw.Flush()
+}
+
+func (r Table3Out) Series() []Series            { return nil }
+func (r Table3Out) Summary() map[string]float64 { return nil }
+
+// ---------------------------------------------------------------------------
+// Fig. 12
+// ---------------------------------------------------------------------------
+
+// Fig12Out renders Fig. 12 rows.
+type Fig12Out []Fig12Row
+
+func (r Fig12Out) Section() string { return "fig12" }
+func (r Fig12Out) Rows() any       { return []Fig12Row(r) }
+
+func (r Fig12Out) Table(w io.Writer) {
+	fmt.Fprintf(w, "\n== Fig. 12: LCS vs greedy-scheduling-theorem bounds ==\n")
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "N\tworkers\texec\tlower=max(T1/P,Tinf)\tupper=T1/P+Tinf\tin-band")
+	for _, row := range r {
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%v\t%v\t%v\n",
+			row.N, row.Workers, row.ExecTime, row.LowerBound, row.UpperBound, row.InBand)
+	}
+	tw.Flush()
+}
+
+func (r Fig12Out) Series() []Series { return nil }
+
+// Summary reports the fraction of points inside the greedy-scheduling band.
+func (r Fig12Out) Summary() map[string]float64 {
+	if len(r) == 0 {
+		return nil
+	}
+	in := 0
+	for _, row := range r {
+		if row.InBand {
+			in++
+		}
+	}
+	return map[string]float64{"in_band_frac": float64(in) / float64(len(r))}
+}
+
+// ---------------------------------------------------------------------------
+// Resilience
+// ---------------------------------------------------------------------------
+
+// ResilienceOut renders resilience sweep rows.
+type ResilienceOut []ResilienceRow
+
+// machLabel is the machine tag of the output: the single machine of the
+// sweep, or "all" when the rows span both.
+func (r ResilienceOut) machLabel() string {
+	label := r[0].Machine
+	for _, row := range r {
+		if row.Machine != label {
+			return "all"
+		}
+	}
+	return label
+}
+
+func (r ResilienceOut) Section() string {
+	if len(r) == 0 {
+		return ""
+	}
+	return "resilience_" + r[0].Tree + "_" + r.machLabel()
+}
+
+func (r ResilienceOut) Rows() any { return []ResilienceRow(r) }
+
+func (r ResilienceOut) Table(w io.Writer) {
+	if len(r) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== Resilience: UTS slowdown under fault injection (%s) ==\n", r.machLabel())
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "machine\tsystem\tscenario\tlevel\texec\tslowdown\tdrops\tretrans")
+	for _, row := range r {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%g\t%v\t%.3f\t%d\t%d\n",
+			row.Machine, row.System, row.Scenario, row.Level, row.ExecTime, row.Slowdown, row.Drops, row.Retrans)
+	}
+	tw.Flush()
+}
+
+func (r ResilienceOut) Series() []Series {
+	if len(r) == 0 {
+		return nil
+	}
+	s := Series{Name: r.Section(), Header: []string{"machine", "system", "scenario", "level", "exec_s", "slowdown", "drops", "retrans"}}
+	for _, row := range r {
+		s.Cells = append(s.Cells, []string{
+			row.Machine, row.System, row.Scenario,
+			fmt.Sprintf("%g", row.Level),
+			fmt.Sprintf("%.6f", row.ExecTime.Seconds()),
+			fmt.Sprintf("%.4f", row.Slowdown),
+			fmt.Sprint(row.Drops), fmt.Sprint(row.Retrans)})
+	}
+	return []Series{s}
+}
+
+// Summary reports the worst slowdown any system exhibited under injection.
+func (r ResilienceOut) Summary() map[string]float64 {
+	if len(r) == 0 {
+		return nil
+	}
+	var max float64
+	for _, row := range r {
+		if row.Slowdown > max {
+			max = row.Slowdown
+		}
+	}
+	return map[string]float64{"max_slowdown": max}
+}
+
+// ---------------------------------------------------------------------------
+// Serve
+// ---------------------------------------------------------------------------
+
+// ServeOut renders open-system serving rows.
+type ServeOut []ServeRow
+
+func (r ServeOut) machLabel() string {
+	label := r[0].Machine
+	for _, row := range r {
+		if row.Machine != label {
+			return "all"
+		}
+	}
+	return label
+}
+
+func (r ServeOut) Section() string {
+	if len(r) == 0 {
+		return ""
+	}
+	return "serve_" + r.machLabel()
+}
+
+func (r ServeOut) Rows() any { return []ServeRow(r) }
+
+func (r ServeOut) Table(w io.Writer) {
+	if len(r) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== Serving: open-system sojourn latency and goodput on %s ==\n", r.machLabel())
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "system\tarrivals\tadmit\tload\toffered(rps)\tadm\trej\tdone\tinflight\tp50\tp99\tp999\tgoodput(rps)")
+	for _, row := range r {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%g\t%.0f\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%.0f\n",
+			row.System, row.Process, row.Admit, row.Load, row.OfferedRps,
+			row.Admitted, row.Rejected, row.Completed, row.InFlight,
+			row.P50, row.P99, row.P999, row.GoodputRps)
+	}
+	tw.Flush()
+}
+
+func (r ServeOut) Series() []Series {
+	if len(r) == 0 {
+		return nil
+	}
+	s := Series{Name: r.Section(), Header: []string{
+		"machine", "system", "process", "admit", "load", "offered_rps",
+		"requests", "admitted", "rejected", "injected", "completed", "inflight",
+		"p50_ns", "p99_ns", "p999_ns", "mean_ns", "max_ns", "makespan_s", "goodput_rps"}}
+	for _, row := range r {
+		s.Cells = append(s.Cells, []string{
+			row.Machine, row.System, row.Process, row.Admit,
+			fmt.Sprintf("%g", row.Load),
+			fmt.Sprintf("%.3f", row.OfferedRps),
+			fmt.Sprint(row.Requests), fmt.Sprint(row.Admitted), fmt.Sprint(row.Rejected),
+			fmt.Sprint(row.Injected), fmt.Sprint(row.Completed), fmt.Sprint(row.InFlight),
+			fmt.Sprint(int64(row.P50)), fmt.Sprint(int64(row.P99)), fmt.Sprint(int64(row.P999)),
+			fmt.Sprint(int64(row.MeanSojourn)), fmt.Sprint(int64(row.MaxSojourn)),
+			fmt.Sprintf("%.6f", row.Makespan.Seconds()),
+			fmt.Sprintf("%.3f", row.GoodputRps)})
+	}
+	return []Series{s}
+}
+
+// Summary reports the saturation throughput: the best goodput any cell of
+// the sweep sustained.
+func (r ServeOut) Summary() map[string]float64 {
+	if len(r) == 0 {
+		return nil
+	}
+	var max float64
+	for _, row := range r {
+		if row.GoodputRps > max {
+			max = row.GoodputRps
+		}
+	}
+	return map[string]float64{"saturation_goodput_rps": max}
+}

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"contsteal/internal/bot"
 	"contsteal/internal/core"
@@ -160,9 +161,15 @@ func resilienceOnce(oj Options, system, tree string, seqDepth int, sc resilience
 		cfg := runCfg(oj, Variant{"greedy", core.ContGreedy, remobj.LocalCollection})
 		cfg.DequeCap = oj.DequeCap
 		rt := core.New(cfg)
+		start := time.Now()
 		ret, st := rt.Run(workload.UTS(t, seqDepth))
 		row.Nodes = core.RetInt64(ret)
 		row.ExecTime = st.ExecTime
+		reportEngine(Coord{
+			Experiment: "resilience", Tree: tree, System: system,
+			Variant: fmt.Sprintf("%s@%g", sc.name, sc.level),
+			Workers: oj.Workers, Seed: oj.Seed,
+		}, st, time.Since(start))
 	default:
 		root, expand := botExpand(t)
 		cfg := botConfig(oj, oj.Workers)

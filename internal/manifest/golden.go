@@ -1,0 +1,133 @@
+// Shared golden validation: byte-exact comparison of produced series
+// against committed fixtures, with a diff report that names the first
+// differing line and byte offset. Used by `repro run` (self-validation),
+// `repro validate <dir>`, and the cmd/repro golden tests.
+
+package manifest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Goldens resolves a committed golden fixture by basename, returning its
+// bytes and whether it exists. DirGoldens reads a directory on disk;
+// cmd/repro locates the committed testdata directory by default.
+type Goldens func(name string) ([]byte, bool)
+
+// DirGoldens resolves fixtures from a directory on disk.
+func DirGoldens(dir string) Goldens {
+	return func(name string) ([]byte, bool) {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, false
+		}
+		return b, true
+	}
+}
+
+// Diff compares got against want and returns "" when byte-identical,
+// otherwise a report naming the first differing byte offset, its 1-based
+// line number, and the full line from each side.
+func Diff(got, want []byte) string {
+	if bytes.Equal(got, want) {
+		return ""
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	line := 1 + bytes.Count(got[:i], []byte("\n"))
+	switch {
+	case i == len(got):
+		return fmt.Sprintf("got (%d bytes) is a prefix of want (%d bytes); first missing content at byte offset %d, line %d: %q",
+			len(got), len(want), i, line, lineAt(want, i))
+	case i == len(want):
+		return fmt.Sprintf("got (%d bytes) extends past want (%d bytes); first extra content at byte offset %d, line %d: %q",
+			len(got), len(want), i, line, lineAt(got, i))
+	}
+	return fmt.Sprintf("first difference at byte offset %d, line %d:\n  got:  %q\n  want: %q",
+		i, line, lineAt(got, i), lineAt(want, i))
+}
+
+// lineAt extracts the full line of b containing byte offset off.
+func lineAt(b []byte, off int) string {
+	if off > len(b) {
+		off = len(b)
+	}
+	start := bytes.LastIndexByte(b[:off], '\n') + 1
+	end := bytes.IndexByte(b[off:], '\n')
+	if end < 0 {
+		end = len(b)
+	} else {
+		end += off
+	}
+	return string(b[start:end])
+}
+
+// Check is one validation verdict: a produced series against the committed
+// golden of the same basename.
+type Check struct {
+	Entry  string // run-folder entry id owning the file
+	Name   string // series basename, e.g. "fig6_pfor_itoa.tsv"
+	Status string // "ok", "mismatch", or "no-golden"
+	Diff   string // Diff report when Status == "mismatch"
+}
+
+// ValidateDir re-checks every TSV series under a run folder's tsv/
+// directory against the committed goldens: tsv/<entry>/<name>.tsv is
+// compared byte-for-byte whenever a golden with that basename exists.
+// Checks come back sorted by (entry, name).
+func ValidateDir(runDir string, goldens Goldens) ([]Check, error) {
+	root := filepath.Join(runDir, "tsv")
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %s is not a run folder (no tsv/ directory): %w", runDir, err)
+	}
+	var checks []Check
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, d.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".tsv") {
+				continue
+			}
+			got, err := os.ReadFile(filepath.Join(root, d.Name(), f.Name()))
+			if err != nil {
+				return nil, err
+			}
+			c := Check{Entry: d.Name(), Name: f.Name()}
+			want, ok := goldens(f.Name())
+			switch {
+			case !ok:
+				c.Status = "no-golden"
+			case Diff(got, want) == "":
+				c.Status = "ok"
+			default:
+				c.Status = "mismatch"
+				c.Diff = Diff(got, want)
+			}
+			checks = append(checks, c)
+		}
+	}
+	sort.Slice(checks, func(i, j int) bool {
+		if checks[i].Entry != checks[j].Entry {
+			return checks[i].Entry < checks[j].Entry
+		}
+		return checks[i].Name < checks[j].Name
+	})
+	return checks, nil
+}

@@ -1,0 +1,263 @@
+package manifest
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDefaultManifest pins the committed experiments.json: it must parse,
+// define both scales, and — the pipeline's coverage guarantee — the smoke
+// scale must exercise every registered experiment.
+func TestDefaultManifest(t *testing.T) {
+	m := Default()
+	for _, scale := range []string{"smoke", "paper"} {
+		if _, err := m.Entries(scale); err != nil {
+			t.Errorf("committed manifest lacks scale %q: %v", scale, err)
+		}
+	}
+	for _, scale := range m.ScaleNames() {
+		entries, err := m.Entries(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := map[string]bool{}
+		for _, e := range entries {
+			covered[e.Experiment] = true
+		}
+		for _, name := range Names() {
+			if !covered[name] {
+				t.Errorf("scale %q does not cover registered experiment %q", scale, name)
+			}
+		}
+	}
+}
+
+// TestManifestRoundTrip re-marshals the committed manifest and parses it
+// back: Parse(Marshal(m)) must reproduce the same entry set.
+func TestManifestRoundTrip(t *testing.T) {
+	m := Default()
+	buf, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(buf)
+	if err != nil {
+		t.Fatalf("re-parsing marshalled manifest: %v", err)
+	}
+	for _, scale := range m.ScaleNames() {
+		a, _ := m.Entries(scale)
+		b, err := m2.Entries(scale)
+		if err != nil {
+			t.Fatalf("round-trip lost scale %q: %v", scale, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("scale %q: %d entries round-tripped to %d", scale, len(a), len(b))
+		}
+		for i := range a {
+			aj, _ := json.Marshal(a[i])
+			bj, _ := json.Marshal(b[i])
+			if string(aj) != string(bj) {
+				t.Errorf("scale %q entry %d round-trip mismatch:\n  %s\n  %s", scale, i, aj, bj)
+			}
+		}
+	}
+}
+
+// TestParseRejects pins the strict-parsing contract: a typoed knob, stray
+// top-level key, trailing data, or structural defect must fail loudly.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"unknown param field",
+			`{"scales":{"s":[{"experiment":"fig6","params":{"machne":"itoa"}}]}}`,
+			"machne"},
+		{"unknown entry field",
+			`{"scales":{"s":[{"experiment":"fig6","paramz":{}}]}}`,
+			"paramz"},
+		{"unknown top-level field",
+			`{"scales":{"s":[{"experiment":"fig6"}]},"extra":1}`,
+			"extra"},
+		{"trailing data",
+			`{"scales":{"s":[{"experiment":"fig6"}]}} {}`,
+			"trailing"},
+		{"no scales", `{"scales":{}}`, "no scales"},
+		{"empty scale", `{"scales":{"s":[]}}`, "no entries"},
+		{"missing experiment", `{"scales":{"s":[{"id":"x"}]}}`, "no experiment"},
+		{"unknown experiment",
+			`{"scales":{"s":[{"experiment":"fig99"}]}}`,
+			"unknown experiment"},
+		{"duplicate ids",
+			`{"scales":{"s":[{"experiment":"fig6"},{"experiment":"fig6"}]}}`,
+			"duplicate entry id"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: Parse accepted %s", tc.name, tc.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRegistryCompleteness pins the registered experiment set: the nine
+// paper experiments in canonical order, each runnable, and every committed
+// golden fixture owned by exactly one spec.
+func TestRegistryCompleteness(t *testing.T) {
+	want := []string{"fig6", "table2", "fig7", "fig8", "fig9", "table3", "fig12", "resilience", "serve"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d specs %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry order[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, name := range want {
+		s := Lookup(name)
+		if s == nil {
+			t.Fatalf("Lookup(%q) = nil", name)
+		}
+		if s.Run == nil || s.Print == nil {
+			t.Errorf("spec %q missing Run or Print", name)
+		}
+	}
+	owners := GoldenOwners()
+	wantGoldens := []string{
+		"fig6_pfor_itoa.tsv", "uts_T1L'_itoa.tsv", "uts_T1WL'_wisteria.tsv",
+		"resilience_T1L'_itoa.tsv", "serve_itoa.tsv", "serve_wisteria.tsv",
+	}
+	for _, g := range wantGoldens {
+		if owners[g] == "" {
+			t.Errorf("golden %q has no owning spec", g)
+		}
+	}
+}
+
+// TestSelect pins the -only selector semantics: entry IDs and experiment
+// names both match; a selector matching nothing is an error.
+func TestSelect(t *testing.T) {
+	m := Default()
+	byID, err := m.Select("smoke", []string{"fig9_shards2"})
+	if err != nil || len(byID) != 1 || byID[0].ID != "fig9_shards2" {
+		t.Errorf("Select by id = %v, %v", byID, err)
+	}
+	byExp, err := m.Select("smoke", []string{"fig9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byExp) != 3 {
+		t.Errorf("Select by experiment fig9 matched %d entries, want 3 (shards 1/2/4)", len(byExp))
+	}
+	if _, err := m.Select("smoke", []string{"nosuch"}); err == nil {
+		t.Error("Select accepted an unmatched selector")
+	}
+	if _, err := m.Select("nosuch", nil); err == nil {
+		t.Error("Select accepted an unknown scale")
+	}
+	all, err := m.Select("smoke", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full, _ := m.Entries("smoke"); len(all) != len(full) {
+		t.Errorf("empty selector kept %d of %d entries", len(all), len(full))
+	}
+}
+
+// TestMerge pins the zero-is-unset overlay semantics Params relies on.
+func TestMerge(t *testing.T) {
+	base := Params{Machine: "itoa", Tree: "T1L", SeqDepth: 3, Systems: []string{"ours"}}
+	over := Params{Machine: "wisteria", Workers: 18, Loads: []float64{1}}
+	got := base.Merge(over)
+	if got.Machine != "wisteria" || got.Workers != 18 || got.Tree != "T1L" ||
+		got.SeqDepth != 3 || len(got.Systems) != 1 || len(got.Loads) != 1 {
+		t.Errorf("Merge = %+v", got)
+	}
+	if got := base.Merge(Params{}); got.Machine != "itoa" || got.SeqDepth != 3 {
+		t.Errorf("Merge with zero overlay = %+v, want base unchanged", got)
+	}
+}
+
+// TestDiff pins the three shapes of the byte-diff report.
+func TestDiff(t *testing.T) {
+	if d := Diff([]byte("a\nb\n"), []byte("a\nb\n")); d != "" {
+		t.Errorf("identical bytes diffed: %q", d)
+	}
+	d := Diff([]byte("hdr\nrow1\nrowX\n"), []byte("hdr\nrow1\nrow2\n"))
+	if !strings.Contains(d, "byte offset 12") || !strings.Contains(d, "line 3") {
+		t.Errorf("mid-difference report wrong: %q", d)
+	}
+	if !strings.Contains(d, `"rowX"`) || !strings.Contains(d, `"row2"`) {
+		t.Errorf("diff report lacks the differing lines: %q", d)
+	}
+	if d := Diff([]byte("a\n"), []byte("a\nb\n")); !strings.Contains(d, "prefix") {
+		t.Errorf("prefix case: %q", d)
+	}
+	if d := Diff([]byte("a\nb\n"), []byte("a\n")); !strings.Contains(d, "extends past") {
+		t.Errorf("extension case: %q", d)
+	}
+}
+
+// TestParseBench pins the BENCH artifact's strict schema validation.
+func TestParseBench(t *testing.T) {
+	good := `{"schema":"contsteal-bench/v1","stamp":"t","scale":"smoke","go":"go1.x","host_cpus":1,
+	  "entries":[{"id":"fig6","experiment":"fig6","shards":1,"jobs":2,"events":10,
+	  "handoffs":5,"callbacks":1,"cross_shard":0,"wall_s":0.1,"events_per_sec":100}]}`
+	b, err := ParseBench([]byte(good))
+	if err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	if b.Entries[0].EventsPerSec != 100 {
+		t.Errorf("events_per_sec = %g", b.Entries[0].EventsPerSec)
+	}
+	// Marshal must round-trip through ParseBench.
+	buf, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBench(buf); err != nil {
+		t.Errorf("Marshal output rejected: %v", err)
+	}
+	bad := []struct{ name, doc string }{
+		{"wrong schema", strings.Replace(good, "contsteal-bench/v1", "v2", 1)},
+		{"unknown field", strings.Replace(good, `"stamp"`, `"stammp"`, 1)},
+		{"empty stamp", strings.Replace(good, `"stamp":"t"`, `"stamp":""`, 1)},
+		{"no entries", `{"schema":"contsteal-bench/v1","stamp":"t","scale":"s","go":"g","host_cpus":1,"entries":[]}`},
+		{"jobs without events", strings.Replace(good, `"events":10`, `"events":0`, 1)},
+		{"shards zero", strings.Replace(good, `"shards":1`, `"shards":0`, 1)},
+	}
+	for _, tc := range bad {
+		if _, err := ParseBench([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestSpecFlagPropagation is the regression test for the dispatch bug this
+// refactor fixes: an explicit machine param must be honored by fig9 (the
+// old CLI silently flipped -machine itoa back to wisteria), and fig9
+// without a machine still defaults to wisteria.
+func TestSpecFlagPropagation(t *testing.T) {
+	runFig9 := func(p Params) string {
+		t.Helper()
+		r, err := Lookup("fig9").Run(p, Exec{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Section()
+	}
+	base := Params{Tree: "T1L", WorkersList: []int{4}, SeqDepth: 10, Seed: 7}
+	withMachine := base
+	withMachine.Machine = "itoa"
+	if got := runFig9(withMachine); got != "uts_T1L'_itoa" {
+		t.Errorf("fig9 with explicit machine itoa produced %q, want uts_T1L'_itoa", got)
+	}
+	if got := runFig9(base); got != "uts_T1L'_wisteria" {
+		t.Errorf("fig9 without machine produced %q, want the wisteria default", got)
+	}
+}

@@ -1,0 +1,85 @@
+package manifest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"contsteal/internal/experiments"
+	"contsteal/internal/topo"
+)
+
+// Exec carries the invocation-level knobs shared by every spec run: host
+// parallelism, engine sharding, fault injection, and the observability
+// collector. Entry-level Params override Shards and Perturb when set.
+type Exec struct {
+	Parallel int
+	Shards   int
+	Perturb  *topo.Perturb
+	Obs      *experiments.ObsCollector
+}
+
+// Spec is one registered experiment: its name (the cmd/repro subcommand and
+// the manifest's experiment key), default Params, the uniform Run
+// entrypoint, a table printer, and the committed golden fixture basenames
+// the experiment reproduces at its smoke-scale params.
+type Spec struct {
+	Name   string
+	Params Params
+	Run    func(p Params, x Exec) (experiments.Rendering, error)
+	Print  func(w io.Writer, r experiments.Rendering)
+	Golden []string
+}
+
+var (
+	registry = map[string]*Spec{}
+	order    []string
+)
+
+// Register adds a spec to the registry. The stored Run merges the spec's
+// default Params under the caller's, so callers only pass what they set.
+// Registration happens at package init; duplicate or unnamed specs are
+// programming errors.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("manifest: Register with empty name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("manifest: duplicate spec %q", s.Name))
+	}
+	if s.Print == nil {
+		s.Print = func(w io.Writer, r experiments.Rendering) { r.Table(w) }
+	}
+	defaults, run := s.Params, s.Run
+	s.Run = func(p Params, x Exec) (experiments.Rendering, error) {
+		return run(defaults.Merge(p), x)
+	}
+	sp := s
+	registry[s.Name] = &sp
+	order = append(order, s.Name)
+}
+
+// Lookup returns the spec registered under name, or nil.
+func Lookup(name string) *Spec { return registry[name] }
+
+// Names returns every registered spec name in registration order (the
+// canonical experiment order).
+func Names() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// GoldenOwners maps each committed golden fixture basename to the spec that
+// reproduces it, for validation reports.
+func GoldenOwners() map[string]string {
+	out := map[string]string{}
+	names := Names()
+	sort.Strings(names)
+	for _, n := range names {
+		for _, g := range registry[n].Golden {
+			out[g] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// The nine experiment specs: the registry entries cmd/repro's subcommand
+// dispatch, `repro all`, and the manifest Runner all execute through. Each
+// spec's Run converts the uniform Params bag into the experiment package's
+// entrypoint call and wraps the rows in their Rendering.
+
+package manifest
+
+import (
+	"fmt"
+	"strings"
+
+	"contsteal/internal/experiments"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// optionsFrom maps resolved Params plus invocation knobs onto
+// experiments.Options. Entry-level Shards/Perturb win over Exec's.
+func optionsFrom(p Params, x Exec) (experiments.Options, error) {
+	o := experiments.Options{
+		Machine: p.Machine, Workers: p.Workers, Scale: p.Scale,
+		Seed: p.Seed, WorkScale: p.WorkScale, DequeCap: p.DequeCap,
+		Parallel: x.Parallel, Shards: x.Shards, Perturb: x.Perturb, Obs: x.Obs,
+	}
+	if p.Shards != 0 {
+		o.Shards = p.Shards
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if p.Perturb != "" {
+		pb, err := topo.ParsePerturb(p.Perturb)
+		if err != nil {
+			return o, err
+		}
+		o.Perturb = pb
+	}
+	if err := checkName("machine", p.Machine, true, "itoa", "wisteria"); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// checkName rejects a value outside the allowed set; optional "" passes.
+func checkName(what, v string, optional bool, allowed ...string) error {
+	if v == "" && optional {
+		return nil
+	}
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown %s %q (want one of %s)", what, v, strings.Join(allowed, ", "))
+}
+
+// checkNames validates every element of a list; nil passes (defaults apply).
+func checkNames(what string, vs []string, allowed ...string) error {
+	for _, v := range vs {
+		if err := checkName(what, v, false, allowed...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkTree(tree string) error {
+	return checkName("tree", tree, true, "T1L", "T1XXL", "T1WL", "T1L'", "T1XXL'", "T1WL'")
+}
+
+func checkBench(bench string) error {
+	return checkName("bench", bench, true, "pfor", "recpfor")
+}
+
+// nsFrom resolves the problem-size list of table3/fig12: an explicit list
+// wins, a single -n becomes a one-element list, otherwise the experiment's
+// default (nil) applies.
+func nsFrom(p Params) []int {
+	if p.NS != nil {
+		return p.NS
+	}
+	if p.N != 0 {
+		return []int{p.N}
+	}
+	return nil
+}
+
+func init() {
+	Register(Spec{
+		Name:   "fig6",
+		Params: Params{Bench: "recpfor"},
+		Golden: []string{"fig6_pfor_itoa.tsv"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkBench(p.Bench); err != nil {
+				return nil, err
+			}
+			var ns []int
+			if p.N != 0 {
+				ns = []int{p.N}
+			}
+			return experiments.Fig6Out(experiments.Fig6(o, p.Bench, ns)), nil
+		},
+	})
+	Register(Spec{
+		Name:   "table2",
+		Params: Params{Bench: "recpfor"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkBench(p.Bench); err != nil {
+				return nil, err
+			}
+			return experiments.Table2Out(experiments.Table2(o, p.Bench, p.N)), nil
+		},
+	})
+	Register(Spec{
+		Name: "fig7",
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig7Out{R: experiments.Fig7(o, p.N)}, nil
+		},
+	})
+	Register(Spec{
+		Name:   "fig8",
+		Params: Params{Tree: "T1L", SeqDepth: 3},
+		Golden: []string{"uts_T1L'_itoa.tsv"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkTree(p.Tree); err != nil {
+				return nil, err
+			}
+			rows := experiments.Fig8(o, p.Tree, p.WorkersList, p.SeqDepth)
+			return experiments.Fig8Out{Fig: "fig8", R: rows}, nil
+		},
+	})
+	Register(Spec{
+		// fig9 defaults to the wisteria machine (the paper ran our runtime
+		// alone on WISTERIA-O); an explicit machine param is honored — the
+		// old CLI silently flipped -machine itoa back to wisteria.
+		Name:   "fig9",
+		Params: Params{Tree: "T1L", SeqDepth: 3},
+		Golden: []string{"uts_T1WL'_wisteria.tsv"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkTree(p.Tree); err != nil {
+				return nil, err
+			}
+			rows := experiments.Fig9(o, p.Tree, p.WorkersList, p.SeqDepth)
+			return experiments.Fig8Out{Fig: "fig9", R: rows}, nil
+		},
+	})
+	Register(Spec{
+		Name: "table3",
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table3Out(experiments.Table3(o, nsFrom(p))), nil
+		},
+	})
+	Register(Spec{
+		Name: "fig12",
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig12Out(experiments.Fig12(o, nsFrom(p), p.WorkersList)), nil
+		},
+	})
+	Register(Spec{
+		// resilience sweeps both machines unless one is named.
+		Name:   "resilience",
+		Params: Params{Tree: "T1L", SeqDepth: 3},
+		Golden: []string{"resilience_T1L'_itoa.tsv"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkTree(p.Tree); err != nil {
+				return nil, err
+			}
+			rows := experiments.Resilience(o, p.Tree, p.SeqDepth)
+			return experiments.ResilienceOut(rows), nil
+		},
+	})
+	Register(Spec{
+		Name:   "serve",
+		Golden: []string{"serve_itoa.tsv", "serve_wisteria.tsv"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkNames("system", p.Systems, "ours", "saws", "charm", "glb"); err != nil {
+				return nil, err
+			}
+			if err := checkNames("arrival process", p.Arrivals, "poisson", "mmpp"); err != nil {
+				return nil, err
+			}
+			if err := checkNames("admission policy", p.Admits, "always", "token"); err != nil {
+				return nil, err
+			}
+			if p.HorizonUs < 0 {
+				return nil, fmt.Errorf("horizon_us must be non-negative, got %g", p.HorizonUs)
+			}
+			sp := experiments.ServeParams{
+				Requests: p.Requests, Loads: p.Loads, Systems: p.Systems,
+				Processes: p.Arrivals, Admits: p.Admits,
+				Horizon: sim.Time(p.HorizonUs * float64(sim.Microsecond)),
+			}
+			return experiments.ServeOut(experiments.Serve(o, sp)), nil
+		},
+	})
+}
