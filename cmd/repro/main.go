@@ -19,7 +19,9 @@
 //	repro run    [-scale smoke|paper] [-only fig6,serve] [-out paper_runs]
 //	             [-stamp NAME] [-manifest FILE] [-goldens DIR]
 //	repro validate <run-dir>     (re-check a run folder against the goldens)
-//	repro analyze <trace.json>   (delay attribution from a -trace file)
+//	repro analyze [-requests] <trace.json>
+//	             (per-rank delay attribution from a -trace file; -requests
+//	              switches to per-request sojourn attribution on serve traces)
 //
 // Every experiment is registered as a manifest spec (internal/manifest):
 // the per-experiment subcommands, `repro all`, and `repro run` all dispatch
@@ -138,9 +140,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return runPipeline(args, stdout, stderr)
 	case "validate":
 		return runValidate(args, stdout, stderr)
+	case "analyze":
+		return runAnalyze(args, stdout, stderr)
 	}
 	spec := manifest.Lookup(cmd)
-	if spec == nil && cmd != "all" && cmd != "analyze" {
+	if spec == nil && cmd != "all" {
 		return usageErr()
 	}
 
@@ -175,6 +179,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	arrivals := fs.String("arrivals", "", "serve: comma-separated arrival processes (poisson,mmpp)")
 	admits := fs.String("admits", "", "serve: comma-separated admission policies (always,token)")
 	horizonUs := fs.Float64("horizon-us", 0, "serve: cut every cell at this virtual time (µs; 0 = drain)")
+	noReqTrace := fs.Bool("no-req-trace", false, "serve: skip request tracing and tail attribution (sojourn/goodput output is byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -273,6 +278,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			fp.Admits = splitNames(*admits)
 		case "horizon-us":
 			fp.HorizonUs = *horizonUs
+		case "no-req-trace":
+			fp.NoReqTrace = *noReqTrace
 		}
 	})
 
@@ -321,11 +328,6 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			}
 			a.emit(sp, r)
 		}
-	case cmd == "analyze":
-		if fs.NArg() != 1 {
-			return fmt.Errorf("usage: repro analyze <trace.json>")
-		}
-		return a.analyze(fs.Arg(0))
 	}
 	if err := a.writeObs(obsCol, *tracePath, *traceFormat, *metricsPath); err != nil {
 		return err
@@ -469,10 +471,11 @@ func runValidate(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if _, err := manifest.ParseBench(data); err != nil {
+		b, err := manifest.ParseBench(data)
+		if err != nil {
 			return fmt.Errorf("repro validate: %s: %w", path, err)
 		}
-		fmt.Fprintf(stdout, "bench ok  %s (schema %s)\n", path, manifest.BenchSchema)
+		fmt.Fprintf(stdout, "bench ok  %s (schema %s)\n", path, b.Schema)
 	}
 	if mismatches > 0 {
 		return fmt.Errorf("repro validate: %d series mismatch the goldens", mismatches)

@@ -196,11 +196,129 @@ func serveGoldenArgs(machine string) []string {
 }
 
 func TestGoldenServeTSV(t *testing.T) {
-	runGolden(t, serveGoldenArgs("itoa"), []string{"serve_itoa.tsv"})
+	runGolden(t, serveGoldenArgs("itoa"), []string{"serve_itoa.tsv", "serve_requests_itoa.tsv"})
 }
 
 func TestGoldenServeTSVWisteria(t *testing.T) {
-	runGolden(t, serveGoldenArgs("wisteria"), []string{"serve_wisteria.tsv"})
+	runGolden(t, serveGoldenArgs("wisteria"), []string{"serve_wisteria.tsv", "serve_requests_wisteria.tsv"})
+}
+
+// TestGoldenServeNoReqTraceEquivalence reruns the serve golden slice with
+// request tracing disabled and requires the sojourn/goodput series to stay
+// byte-identical to the committed (traced) fixture: the request tracer only
+// observes, so turning it off may remove the serve_requests series but may
+// not move a single simulated tick.
+func TestGoldenServeNoReqTraceEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	args := append(serveGoldenArgs("itoa"), "-no-req-trace", "-tsv", dir, "-quiet", "-parallel", "4")
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("repro %s: %v", strings.Join(args, " "), err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "serve_itoa.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "serve_itoa.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("serve TSV with request tracing off diverges from the traced fixture.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "serve_requests_itoa.tsv")); err == nil {
+		t.Error("-no-req-trace still produced the serve_requests series")
+	}
+}
+
+// serveTraceArgs generates the committed micro serve trace: one "ours" cell
+// small enough to commit, with enough load that requests overlap and steal /
+// fabric / queue components all appear.
+func serveTraceArgs(tracePath string) []string {
+	return []string{"serve", "-machine", "itoa", "-workers", "6", "-requests", "24",
+		"-seed", "11", "-systems", "ours", "-arrivals", "poisson", "-admits", "always",
+		"-loads", "1", "-trace", tracePath, "-quiet", "-parallel", "4"}
+}
+
+// TestGoldenServeTraceJSON pins the complete event log of a micro open-system
+// run — serve lifecycle instants, request-tagged spans, and the embedded
+// ServeCheck block — as a byte-exact fixture, then requires the committed
+// fixture to pass the `analyze -requests` cross-check: per-request components
+// summing to the sojourn and percentiles agreeing with the counters, to the
+// tick. Refresh with `go test ./cmd/repro -update`.
+func TestGoldenServeTraceJSON(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace_serve_micro.json")
+	if err := run(serveTraceArgs(tracePath), io.Discard, io.Discard); err != nil {
+		t.Fatalf("repro serve: %v", err)
+	}
+	got, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_serve_micro.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing fixture %s (create it with `go test ./cmd/repro -update`): %v", golden, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("serve event log diverges from golden fixture %s (%d vs %d bytes); run with -update if intended",
+				golden, len(got), len(want))
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"analyze", "-requests", golden}, &out, io.Discard); err != nil {
+		t.Errorf("analyze -requests on golden fixture: %v", err)
+	}
+	if !strings.Contains(out.String(), "trace and counters agree") {
+		t.Errorf("analyze -requests did not report agreement:\n%s", out.String())
+	}
+	// The per-rank mode works on serve traces too.
+	if err := run([]string{"analyze", golden}, io.Discard, io.Discard); err != nil {
+		t.Errorf("analyze on serve fixture: %v", err)
+	}
+}
+
+// TestAnalyzeRequestsDetectsCorruption corrupts one counter of the committed
+// serve trace (completed, which VerifyRequests cross-checks against the
+// attribution) and asserts the non-zero-exit path: run() must return an
+// error naming the cross-check, which main() turns into exit code 2.
+func TestAnalyzeRequestsDetectsCorruption(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "trace_serve_micro.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, corrupt := range map[string][2]string{
+		"completed counter": {`"completed":`, `"completed":1`},
+		"admitted counter":  {`"admitted":`, `"admitted":1`},
+	} {
+		bad := strings.Replace(string(data), corrupt[0], corrupt[1], 1)
+		if bad == string(data) {
+			t.Fatalf("%s: fixture lacks %q", name, corrupt[0])
+		}
+		path := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stderrBuf bytes.Buffer
+		err := run([]string{"analyze", "-requests", path}, io.Discard, &stderrBuf)
+		if err == nil {
+			t.Fatalf("%s: analyze -requests accepted a corrupted %s", name, name)
+		}
+		if !strings.Contains(err.Error(), "analyze -requests") {
+			t.Errorf("%s: error does not name the cross-check: %v", name, err)
+		}
+	}
+	// A closed-system trace is rejected outright in request mode.
+	if err := run([]string{"analyze", "-requests",
+		filepath.Join("testdata", "trace_uts_micro.json")}, io.Discard, io.Discard); err == nil {
+		t.Error("analyze -requests accepted a closed-system trace")
+	}
 }
 
 // TestServeParallelShardsByteIdentical drives the serve CLI end-to-end at

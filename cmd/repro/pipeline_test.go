@@ -218,28 +218,59 @@ func TestFig9MachineOverride(t *testing.T) {
 	}
 }
 
-// TestCommittedBench pins the BENCH_0007.json artifact committed at the
-// repo root: it must satisfy the strict schema and carry the fig9 shard
-// ladder plus both serve saturation summaries.
+// TestCommittedBench pins the BENCH artifacts committed at the repo root:
+// each must satisfy the strict schema (BENCH_0007 via the legacy v1 parse
+// path) and carry the fig9 shard ladder plus both serve saturation
+// summaries. BENCH_0008 onward must additionally carry the serve
+// tail-latency headline keys introduced with schema v2.
 func TestCommittedBench(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_0007.json"))
-	if err != nil {
-		t.Fatalf("committed BENCH artifact missing: %v", err)
-	}
-	b, err := manifest.ParseBench(data)
-	if err != nil {
-		t.Fatalf("committed BENCH artifact invalid: %v", err)
-	}
-	if b.Scale != "smoke" {
-		t.Errorf("committed BENCH scale = %q, want smoke", b.Scale)
-	}
-	ids := map[string]bool{}
-	for _, e := range b.Entries {
-		ids[e.ID] = true
-	}
-	for _, id := range []string{"fig9", "fig9_shards2", "fig9_shards4", "serve_itoa", "serve_wisteria"} {
-		if !ids[id] {
-			t.Errorf("committed BENCH lacks entry %s", id)
+	for _, tc := range []struct {
+		file     string
+		headline bool // v2 serve tail-latency summary keys required
+	}{
+		{"BENCH_0007.json", false},
+		{"BENCH_0008.json", true},
+	} {
+		data, err := os.ReadFile(filepath.Join("..", "..", tc.file))
+		if err != nil {
+			t.Fatalf("committed BENCH artifact missing: %v", err)
+		}
+		b, err := manifest.ParseBench(data)
+		if err != nil {
+			t.Fatalf("%s: committed BENCH artifact invalid: %v", tc.file, err)
+		}
+		if b.Scale != "smoke" {
+			t.Errorf("%s: committed BENCH scale = %q, want smoke", tc.file, b.Scale)
+		}
+		serve := map[string]map[string]float64{}
+		ids := map[string]bool{}
+		for _, e := range b.Entries {
+			ids[e.ID] = true
+			if e.Experiment == "serve" {
+				serve[e.ID] = e.Summary
+			}
+		}
+		for _, id := range []string{"fig9", "fig9_shards2", "fig9_shards4", "serve_itoa", "serve_wisteria"} {
+			if !ids[id] {
+				t.Errorf("%s: committed BENCH lacks entry %s", tc.file, id)
+			}
+		}
+		if !tc.headline {
+			continue
+		}
+		for id, sum := range serve {
+			if sum["p999_sojourn_us"] <= 0 {
+				t.Errorf("%s: entry %s lacks a positive p999_sojourn_us headline", tc.file, id)
+			}
+			dominant := false
+			for k, v := range sum {
+				if strings.HasPrefix(k, "p999_dominant_share_") && v > 0 && v <= 1 {
+					dominant = true
+				}
+			}
+			if !dominant {
+				t.Errorf("%s: entry %s lacks a p999_dominant_share_* headline in (0,1]", tc.file, id)
+			}
 		}
 	}
 }

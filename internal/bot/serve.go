@@ -28,6 +28,14 @@ type ServeArrival struct {
 // tasks its expansion produced — the hook the serve harness uses for
 // per-request completion accounting. A positive Horizon cuts the run at
 // that virtual time instead of draining.
+//
+// OnTask ordering contract: calls arrive in the engine's serial dispatch
+// order, so now is nondecreasing and the full (task, children, now) stream
+// is deterministic for a fixed Config. A request's last OnTask call (its
+// remaining-node counter reaching zero) is therefore the request's
+// completion instant; the serve harness records it as Request.End and then
+// sorts completions by (End, ID), so runtimes that finish several requests
+// at the same virtual tick still report them in a stable order.
 type Serve struct {
 	Arrivals []ServeArrival // ascending At
 	Horizon  sim.Time       // 0 = run until all injected work drains

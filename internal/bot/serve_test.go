@@ -128,6 +128,57 @@ func TestBotServeDeterministic(t *testing.T) {
 	}
 }
 
+// TestBotServePerRequestAccounting exercises the exact seam the serve
+// harness uses: ServeTask-encoded request DAGs expanded by ServeExpand,
+// with per-request remaining-node counters decremented from OnTask via
+// ServeTaskID. Every request must drain to exactly zero with nondecreasing
+// completion instants per the OnTask ordering contract.
+func TestBotServePerRequestAccounting(t *testing.T) {
+	type req struct {
+		id            int64
+		fanout, depth int
+	}
+	reqs := []req{{11, 3, 2}, {12, 2, 3}, {13, 1, 0}, {14, 4, 1}}
+	for _, r := range botRunners() {
+		remaining := map[int64]int64{}
+		var arrivals []ServeArrival
+		for i, q := range reqs {
+			remaining[q.id] = serveNodes(q.fanout, q.depth)
+			arrivals = append(arrivals, ServeArrival{
+				At:   sim.Time(i) * 400,
+				Rank: i % 4,
+				Task: ServeTask(q.id, q.fanout, q.depth),
+			})
+		}
+		done := map[int64]sim.Time{}
+		var lastNow sim.Time
+		cfg := Config{Workers: 4, Seed: 5, Work: 190, MaxTime: sim.Second}
+		cfg.Serve = &Serve{
+			Arrivals: arrivals,
+			OnTask: func(task Task, children int, now sim.Time) {
+				id := ServeTaskID(task)
+				if now < lastNow {
+					t.Errorf("%s: OnTask out of dispatch order: %v after %v", r.name, now, lastNow)
+				}
+				lastNow = now
+				remaining[id]--
+				if remaining[id] == 0 {
+					done[id] = now
+				}
+			},
+		}
+		r.run(cfg, Task{}, ServeExpand)
+		for _, q := range reqs {
+			if remaining[q.id] != 0 {
+				t.Errorf("%s: request %d has %d unprocessed nodes", r.name, q.id, remaining[q.id])
+			}
+			if _, ok := done[q.id]; !ok {
+				t.Errorf("%s: request %d never completed", r.name, q.id)
+			}
+		}
+	}
+}
+
 // TestBotServeHorizonCut: a horizon inside the trace cuts the run without
 // panicking; arrivals at/after the horizon never inject.
 func TestBotServeHorizonCut(t *testing.T) {

@@ -253,7 +253,30 @@ type Runtime struct {
 
 	tr        *traceState // non-nil when Config.Trace or Config.Tracer is set
 	lastStats *RunStats   // stats of the completed run (for TraceLog's Check block)
+	lastServe *ServeStats // stats of the completed Serve run (for TraceLog's Serve block)
 }
+
+// reqTagger wraps the fabric's tracer sink so rdma (and perturb) events
+// issued while a worker executes request work inherit that request's tag.
+// Fabric events carry Rank = the issuing rank at issue time, so the
+// worker's curReq register is exactly the right attribution; ops issued
+// from scheduler context (steal protocol, migrations) have curReq == 0 and
+// stay untagged — their time is covered by the thief's steal span instead.
+// Closed-system runs always see curReq == 0, so traces are byte-identical
+// with or without the shim.
+type reqTagger struct {
+	rt    *Runtime
+	inner obs.Tracer
+}
+
+func (g *reqTagger) Event(e obs.Event) {
+	if e.Req == 0 && e.Rank >= 0 && e.Rank < len(g.rt.workers) {
+		e.Req = g.rt.workers[e.Rank].curReq
+	}
+	g.inner.Event(e)
+}
+
+func (g *reqTagger) Seq() int64 { return g.inner.Seq() }
 
 // New builds a runtime. Call Run exactly once.
 func New(cfg Config) *Runtime {
@@ -275,7 +298,7 @@ func New(cfg Config) *Runtime {
 			tr = rec
 		}
 		rt.tr = newTraceState(cfg.Workers, tr, rec)
-		fab.Tr = tr
+		fab.Tr = &reqTagger{rt: rt, inner: tr}
 		rt.objs.SetTracer(tr)
 	}
 	entrySize := contEntrySize
@@ -476,7 +499,7 @@ func (rt *Runtime) checkReady(_ rdma.Loc, ji *joinInfo) {
 // worker w (running task `task`, -1 for buried RtC joins). The elapsed time
 // since it became ready is the outstanding-join time; the resume trace span
 // covers exactly that window, so Σ resume durations == OutstandingTime.
-func (rt *Runtime) joinResumed(w *Worker, e rdma.Loc, task int64) {
+func (rt *Runtime) joinResumed(w *Worker, e rdma.Loc, task, req int64) {
 	ji := rt.joinInfo[e]
 	if ji == nil {
 		return
@@ -490,7 +513,7 @@ func (rt *Runtime) joinResumed(w *Worker, e rdma.Loc, task int64) {
 		if rt.tr != nil {
 			rt.tr.tr.Event(obs.Event{
 				T: ji.readyAt, Dur: wait, Rank: w.rank, Kind: TraceResume,
-				Task: task, Peer: -1,
+				Task: task, Peer: -1, Req: req,
 			})
 		}
 		if w.ob != nil {

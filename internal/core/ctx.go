@@ -64,7 +64,7 @@ func (c *Ctx) Compute(d sim.Time) {
 		}
 		ts.tr.Event(obs.Event{
 			T: c.p.Now(), Dur: scaled, Rank: w.rank, Kind: obs.KindCompute,
-			Task: task, Peer: -1,
+			Task: task, Peer: -1, Req: w.curReq,
 		})
 	}
 	c.p.Sleep(scaled)
@@ -101,7 +101,7 @@ func (c *Ctx) spawn(fn TaskFunc, consumers int) Handle {
 	if !rt.cfg.Policy.Continuation() {
 		// Child stealing: enqueue the child, keep running the parent.
 		rt.childSeq++
-		ct := &childTask{fn: fn, hdl: h, id: rt.childSeq}
+		ct := &childTask{fn: fn, hdl: h, id: rt.childSeq, reqTag: w.curReq}
 		buf := make([]byte, rt.cfg.ChildTaskBytes)
 		encodeChildEntry(buf, ct)
 		w.dq.Push(p, buf, ct)
@@ -123,6 +123,7 @@ func (c *Ctx) spawn(fn TaskFunc, consumers int) Handle {
 	}
 
 	child := newContThread(w, fn, h, t.id, false)
+	child.reqTag = t.reqTag
 	w.setCurrent(child)
 	child.start()
 	t.parkSelf(p)

@@ -145,11 +145,15 @@ const (
 	entChild  = 3
 )
 
-// childTask is a not-yet-started child-stealing task.
+// childTask is a not-yet-started child-stealing task. reqTag is the serve
+// request tag inherited from the spawner (request ID + 1; 0 = closed
+// system); it rides alongside the encoded deque entry like fn and hdl do,
+// so the wire layout is unchanged.
 type childTask struct {
-	fn  TaskFunc
-	hdl Handle
-	id  int64
+	fn     TaskFunc
+	hdl    Handle
+	id     int64
+	reqTag int64
 }
 
 func encodeContEntry(buf []byte, kind int64, t *Thread) {

@@ -170,7 +170,7 @@ func (rt *Runtime) joinGreedy(c *Ctx, h Handle) []byte {
 		t.state = tSuspended
 		t.waitingOn = h.E
 		rt.joinSuspended(h.E)
-		rt.traceEvent(TraceSuspend, w.rank, t.id, -1, p.Now())
+		rt.traceEventReq(TraceSuspend, w.rank, t.id, -1, p.Now(), t.reqTag)
 		f2 := rt.fab.FetchAdd(p, w.rank, flagWord(h.E), 1) // line 46
 		if f2 == 0 {
 			// The joining thread won the race (lines 47-48): this worker
@@ -186,7 +186,7 @@ func (rt *Runtime) joinGreedy(c *Ctx, h Handle) []byte {
 			rt.objs.Free(p, w.rank, cloc)
 			t.w.bringTo(p, t) // restore our just-evacuated stack
 			p.Sleep(rt.cfg.Machine.CtxSwitch)
-			rt.joinResumed(t.w, h.E, t.id)
+			rt.joinResumed(t.w, h.E, t.id, t.reqTag)
 			t.waitingOn = rdma.Loc{}
 			t.state = tRunning
 		}
@@ -246,7 +246,7 @@ func (rt *Runtime) joinPoll(c *Ctx, h Handle) []byte {
 		t.state = tSuspended
 		t.waitingOn = h.E
 		rt.joinSuspended(h.E)
-		rt.traceEvent(TraceSuspend, w.rank, t.id, -1, p.Now())
+		rt.traceEventReq(TraceSuspend, w.rank, t.id, -1, p.Now(), t.reqTag)
 		w.waitQ = append(w.waitQ, t) // line 16: PUSHTOWAITQUEUE
 		p.Sleep(rt.cfg.Machine.CtxSwitch)
 		w.toScheduler() // line 17
@@ -274,7 +274,7 @@ func (rt *Runtime) joinRtC(c *Ctx, h Handle) []byte {
 			}
 			f = rt.fab.GetInt64(p, w.rank, flagWord(h.E))
 		}
-		rt.joinResumed(w, h.E, -1) // buried join: no thread identity
+		rt.joinResumed(w, h.E, -1, w.curReq) // buried join: no thread identity
 	}
 	ret := rt.getRetval(c, h)
 	rt.consumeEntry(c, h)
@@ -351,7 +351,7 @@ func (rt *Runtime) joinFutureGreedy(c *Ctx, h Handle) []byte {
 		t.state = tSuspended
 		t.waitingOn = h.E
 		rt.joinSuspended(h.E)
-		rt.traceEvent(TraceSuspend, w.rank, t.id, -1, p.Now())
+		rt.traceEventReq(TraceSuspend, w.rank, t.id, -1, p.Now(), t.reqTag)
 		if s := rt.fab.FetchAdd(p, w.rank, field(h.E, meSlots+int(i)*slotStride, 8), 1); s == 0 {
 			// Registered before completion: park until the die resumes us.
 			p.Sleep(rt.cfg.Machine.CtxSwitch)
@@ -362,7 +362,7 @@ func (rt *Runtime) joinFutureGreedy(c *Ctx, h Handle) []byte {
 			rt.objs.Free(p, w.rank, cloc)
 			t.w.bringTo(p, t)
 			p.Sleep(rt.cfg.Machine.CtxSwitch)
-			rt.joinResumed(t.w, h.E, t.id)
+			rt.joinResumed(t.w, h.E, t.id, t.reqTag)
 			t.waitingOn = rdma.Loc{}
 			t.state = tRunning
 		}

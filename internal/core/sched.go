@@ -212,7 +212,7 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 		copyTime := w.resume(p, t) // migrates the stack (Fig. 2 step 3)
 		w.st.StolenBytes += uint64(t.stackSize)
 		w.st.TaskCopyTime += copyTime
-		w.stealSucceeded(t.id, victim.rank, start, int64(t.stackSize))
+		w.stealSucceeded(t.id, victim.rank, start, int64(t.stackSize), t.reqTag)
 		p.Park()
 	case entChild:
 		ct := obj.(*childTask)
@@ -220,7 +220,7 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 		// by the deque protocol itself; account its payload portion.
 		w.st.StolenBytes += uint64(w.rt.cfg.ChildTaskBytes)
 		w.st.TaskCopyTime += w.rt.cfg.Machine.OneSided(w.rank, victim.rank, w.rt.cfg.ChildTaskBytes, false)
-		w.stealSucceeded(ct.id, victim.rank, start, int64(w.rt.cfg.ChildTaskBytes))
+		w.stealSucceeded(ct.id, victim.rank, start, int64(w.rt.cfg.ChildTaskBytes), ct.reqTag)
 		if w.rt.cfg.Policy == ChildRtC {
 			w.runInline(p, ct)
 			return
@@ -234,14 +234,14 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 
 // stealSucceeded books a successful steal over the same window the trace
 // span covers, so Σ steal span durations == Work.StealLatency exactly.
-func (w *Worker) stealSucceeded(task int64, victim int, start sim.Time, size int64) {
+func (w *Worker) stealSucceeded(task int64, victim int, start sim.Time, size, req int64) {
 	w.failStreak = 0
 	lat := w.rt.eng.Now() - start
 	w.st.StealLatency += lat
 	if w.ob != nil {
 		w.ob.stealLat.Observe(lat)
 	}
-	w.rt.traceSteal(w.rank, task, victim, start, size)
+	w.rt.traceSteal(w.rank, task, victim, start, size, req)
 }
 
 // stealFailed books a failed attempt: the protocol chain window is the
@@ -262,7 +262,7 @@ func (w *Worker) stealFailed(victim *Worker, start sim.Time, chain sim.Time) {
 // but is tied to this worker forever after.
 func (w *Worker) startChildTask(p *sim.Proc, ct *childTask) {
 	rt := w.rt
-	t := &Thread{rt: rt, fn: ct.fn, entry: ct.hdl.E, hdl: ct.hdl, isChildTask: true, w: w}
+	t := &Thread{rt: rt, fn: ct.fn, entry: ct.hdl.E, hdl: ct.hdl, isChildTask: true, w: w, reqTag: ct.reqTag}
 	rt.register(t)
 	// Stack allocation plus the switch onto it.
 	p.Sleep(rt.cfg.Machine.AllocCost + rt.cfg.Machine.CtxSwitch)
@@ -333,7 +333,7 @@ func (w *Worker) tryRunOneRtC(p *sim.Proc) bool {
 		if w.ob != nil {
 			w.ob.chainSteal.Observe(chain)
 		}
-		w.stealSucceeded(ct.id, victim.rank, start, int64(w.rt.cfg.ChildTaskBytes))
+		w.stealSucceeded(ct.id, victim.rank, start, int64(w.rt.cfg.ChildTaskBytes), ct.reqTag)
 		w.runInline(p, ct)
 		return true
 	}
@@ -346,8 +346,13 @@ func (w *Worker) tryRunOneRtC(p *sim.Proc) bool {
 func (w *Worker) runInline(p *sim.Proc, ct *childTask) {
 	rt := w.rt
 	w.rtcEnter()
-	rt.traceRunStart(w.rank, ct.id)
+	rt.traceRunStart(w.rank, ct.id, ct.reqTag)
 	defer rt.traceRunEnd(w.rank)
+	// Inline execution nests: save the enclosing task's request tag so
+	// spawns and fabric ops inside ct are attributed to ct's request.
+	saved := w.curReq
+	w.curReq = ct.reqTag
+	defer func() { w.curReq = saved }()
 	c := &Ctx{rt: rt, w: w, p: p}
 	ret := ct.fn(c)
 	rt.putRetval(c, ct.hdl, ret)

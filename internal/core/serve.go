@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"contsteal/internal/obs"
 	"contsteal/internal/sim"
 )
 
@@ -18,20 +20,20 @@ import (
 // same contract as closed-system runs.
 
 // Request is one open-system arrival: a request DAG root Fn that enters the
-// system at virtual time At. ID is caller-assigned identity, reported back
-// in RequestDone.
+// system at virtual time At. ID is caller-assigned identity (must be ≥ 0 and
+// unique within one Serve call — it keys the per-request trace attribution),
+// reported back in RequestDone.
 type Request struct {
 	ID int64
 	At sim.Time
 	Fn TaskFunc
 }
 
-// RequestDone records one completed request. Serve returns these in
-// completion order (deterministic: the engine dispatches events serially).
+// RequestDone records one completed request.
 type RequestDone struct {
-	ID  int64
-	At  sim.Time // arrival
-	End sim.Time // completion
+	ID  int64    `json:"id"`
+	At  sim.Time `json:"at"`  // arrival
+	End sim.Time `json:"end"` // completion
 }
 
 // Sojourn is the request's end-to-end virtual-time latency.
@@ -45,8 +47,13 @@ type ServeStats struct {
 	Admitted  uint64 // requests handed to Serve
 	Injected  uint64 // arrival timers that fired (all of them, unless cut)
 	Completed uint64
-	InFlight  uint64        // Admitted - Completed at the end of the run
-	Done      []RequestDone // per-request completions, in completion order
+	InFlight  uint64 // Admitted - Completed at the end of the run
+	// Done holds the per-request completions, sorted by (End, ID). The sort
+	// is the ordering contract: completion order happens to coincide with
+	// nondecreasing End today, but it is an engine-dispatch artifact and
+	// must not leak into output that downstream percentile computations and
+	// goldens depend on.
+	Done []RequestDone
 }
 
 // serveState is the runtime's open-system bookkeeping. The engine runs one
@@ -95,10 +102,18 @@ func (rt *Runtime) Serve(reqs []Request, horizon sim.Time) ServeStats {
 	if rt.serve != nil {
 		panic("core: Serve may be called at most once per Runtime")
 	}
-	for i := 1; i < len(reqs); i++ {
-		if reqs[i].At < reqs[i-1].At {
+	seen := make(map[int64]bool, len(reqs))
+	for i := range reqs {
+		if i > 0 && reqs[i].At < reqs[i-1].At {
 			panic("core: Serve arrivals must be sorted by arrival time")
 		}
+		if reqs[i].ID < 0 {
+			panic(fmt.Sprintf("core: Serve request ID %d is negative", reqs[i].ID))
+		}
+		if seen[reqs[i].ID] {
+			panic(fmt.Sprintf("core: Serve request ID %d is not unique", reqs[i].ID))
+		}
+		seen[reqs[i].ID] = true
 	}
 	s := &serveState{total: uint64(len(reqs))}
 	rt.serve = s
@@ -120,6 +135,11 @@ func (rt *Runtime) Serve(reqs []Request, horizon sim.Time) ServeStats {
 		// like every other event touching that worker's state.
 		rt.eng.AfterOn(rt.shardOf(w.rank), r.At, func() {
 			s.injected++
+			// Arrival and admission coincide today (admission decisions are
+			// made before injection); the two instants are the seam where an
+			// SLO-aware admission delay will appear between them.
+			rt.traceServe(obs.KindServeArrive, w.rank, r.ID+1)
+			rt.traceServe(obs.KindServeAdmit, w.rank, r.ID+1)
 			w.inbox = append(w.inbox, &r)
 			rt.wakeDozers()
 		})
@@ -150,7 +170,13 @@ func (rt *Runtime) Serve(reqs []Request, horizon sim.Time) ServeStats {
 			panic(fmt.Sprintf("core: %d procs leaked at serve completion", live))
 		}
 	}
-	return ServeStats{
+	sort.Slice(s.done, func(i, j int) bool {
+		if s.done[i].End != s.done[j].End {
+			return s.done[i].End < s.done[j].End
+		}
+		return s.done[i].ID < s.done[j].ID
+	})
+	st := ServeStats{
 		RunStats:  rt.collect(end),
 		Admitted:  s.total,
 		Injected:  s.injected,
@@ -158,6 +184,18 @@ func (rt *Runtime) Serve(reqs []Request, horizon sim.Time) ServeStats {
 		InFlight:  s.total - s.completed,
 		Done:      s.done,
 	}
+	rt.lastServe = &st
+	return st
+}
+
+// traceServe records one serve lifecycle instant at the current virtual
+// time. req is the request tag (request ID + 1).
+func (rt *Runtime) traceServe(kind obs.Kind, rank int, req int64) {
+	ts := rt.tr
+	if ts == nil {
+		return
+	}
+	ts.tr.Event(obs.Event{T: rt.eng.Now(), Rank: rank, Kind: kind, Task: -1, Peer: -1, Req: req})
 }
 
 // requestDone books one completed request at the current virtual time and
@@ -166,6 +204,7 @@ func (rt *Runtime) requestDone(w *Worker, r *Request) {
 	s := rt.serve
 	now := rt.eng.Now()
 	s.completed++
+	rt.traceServe(obs.KindServeDone, w.rank, r.ID+1)
 	s.done = append(s.done, RequestDone{ID: r.ID, At: r.At, End: now})
 	if w.ob != nil && w.ob.sojourn != nil {
 		w.ob.sojourn.Observe(now - r.At)
@@ -195,6 +234,8 @@ func (w *Worker) startRequest(p *sim.Proc) {
 		rt.register(t)
 	}
 	t.req = r
+	t.reqTag = r.ID + 1
+	rt.traceServe(obs.KindServeStart, w.rank, t.reqTag)
 	w.setCurrent(t)
 	t.start()
 	p.Park()
@@ -208,9 +249,20 @@ func (w *Worker) runRequestInline(p *sim.Proc) {
 	w.inbox = w.inbox[1:]
 	w.failStreak = 0
 	w.rtcEnter()
+	// The request root is not a Thread here, but it still needs a task id
+	// for the trace (allocated unconditionally so ids are stable whether or
+	// not tracing is on) and the worker's request register while it runs.
+	rt.childSeq++
+	id, tag := rt.childSeq, r.ID+1
+	rt.traceServe(obs.KindServeStart, w.rank, tag)
+	rt.traceRunStart(w.rank, id, tag)
+	saved := w.curReq
+	w.curReq = tag
 	c := &Ctx{rt: rt, w: w, p: p}
 	r.Fn(c)
 	w.st.Tasks++
 	rt.requestDone(w, r)
+	w.curReq = saved
+	rt.traceRunEnd(w.rank)
 	w.rtcExit()
 }

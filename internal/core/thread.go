@@ -57,6 +57,12 @@ type Thread struct {
 	// mode); nil for closed-system roots and all non-root threads.
 	req *Request
 
+	// reqTag identifies the serve request whose DAG this thread belongs to
+	// (request ID + 1; 0 = closed system). Every descendant inherits it at
+	// spawn, so steals, migrations and joins stay attributable to the
+	// request end-to-end.
+	reqTag int64
+
 	// parked/pendingWake implement a race-free park/wake handshake: a
 	// resumer may complete (and call handoff) during the latency window
 	// between a thread making itself resumable and its proc actually
@@ -90,6 +96,12 @@ type Worker struct {
 	current  *Thread
 	rtcDepth int // ChildRtC: nesting depth of inline task execution
 
+	// curReq is the request tag of the work currently occupying this
+	// worker (thread current or RtC inline task), 0 when none. It is the
+	// source of child-task inheritance and of the Req tag on events emitted
+	// while the worker computes (including fabric ops issued mid-task).
+	curReq int64
+
 	// failStreak counts consecutive failed steals since the last success;
 	// it drives the idle exponential backoff when Config.StealBackoff is on.
 	failStreak int
@@ -119,8 +131,13 @@ func (w *Worker) setCurrent(t *Thread) {
 			w.rt.traceRunEnd(w.rank)
 		}
 		if t != nil {
-			w.rt.traceRunStart(w.rank, t.id)
+			w.rt.traceRunStart(w.rank, t.id, t.reqTag)
 		}
+	}
+	if t != nil {
+		w.curReq = t.reqTag
+	} else {
+		w.curReq = 0
 	}
 	w.current = t
 }
@@ -336,11 +353,11 @@ func (w *Worker) resume(p *sim.Proc, t *Thread) sim.Time {
 	copyTime := w.bringTo(p, t)
 	p.Sleep(w.rt.cfg.Machine.CtxSwitch)
 	if t.waitingOn.Valid() {
-		w.rt.joinResumed(w, t.waitingOn, t.id)
+		w.rt.joinResumed(w, t.waitingOn, t.id, t.reqTag)
 		t.waitingOn = rdma.Loc{}
 	}
 	if migrated {
-		w.rt.traceEvent(TraceMigrate, w.rank, t.id, -1, start)
+		w.rt.traceEventReq(TraceMigrate, w.rank, t.id, -1, start, t.reqTag)
 		if w.ob != nil {
 			w.ob.migrate.Observe(copyTime)
 		}

@@ -63,16 +63,21 @@ type TraceCheck struct {
 
 // Trace is the recorded event log of a run.
 type Trace struct {
-	Workers      int          `json:"workers"`
-	CoresPerNode int          `json:"cores_per_node"`
-	ExecTime     sim.Time     `json:"exec_time"`
-	Check        TraceCheck   `json:"check"`
-	Events       []TraceEvent `json:"events"`
+	Workers      int        `json:"workers"`
+	CoresPerNode int        `json:"cores_per_node"`
+	ExecTime     sim.Time   `json:"exec_time"`
+	Check        TraceCheck `json:"check"`
+	// Serve is the open-system cross-check block, present only for traces
+	// recorded by Runtime.Serve (omitempty keeps closed-system trace files
+	// byte-identical to pre-serve revisions). See VerifyRequests.
+	Serve  *ServeCheck  `json:"serve,omitempty"`
+	Events []TraceEvent `json:"events"`
 }
 
 // runFrame is one open run span (nested under ChildRtC inline execution).
 type runFrame struct {
 	task  int64
+	req   int64 // serve request tag (request ID + 1; 0 = none)
 	since sim.Time
 }
 
@@ -95,12 +100,12 @@ func (ts *traceState) currentTask(rank int) int64 {
 	return -1
 }
 
-func (rt *Runtime) traceRunStart(rank int, task int64) {
+func (rt *Runtime) traceRunStart(rank int, task, req int64) {
 	ts := rt.tr
 	if ts == nil {
 		return
 	}
-	ts.stack[rank] = append(ts.stack[rank], runFrame{task: task, since: rt.eng.Now()})
+	ts.stack[rank] = append(ts.stack[rank], runFrame{task: task, req: req, since: rt.eng.Now()})
 }
 
 func (rt *Runtime) traceRunEnd(rank int) {
@@ -113,30 +118,35 @@ func (rt *Runtime) traceRunEnd(rank int) {
 	ts.stack[rank] = s[:len(s)-1]
 	ts.tr.Event(obs.Event{
 		T: f.since, Dur: rt.eng.Now() - f.since,
-		Rank: rank, Kind: TraceRun, Task: f.task, Peer: -1,
+		Rank: rank, Kind: TraceRun, Task: f.task, Peer: -1, Req: f.req,
 	})
 }
 
 func (rt *Runtime) traceEvent(kind TraceEventKind, rank int, task int64, peer int, start sim.Time) {
+	rt.traceEventReq(kind, rank, task, peer, start, 0)
+}
+
+// traceEventReq is traceEvent with an explicit serve request tag.
+func (rt *Runtime) traceEventReq(kind TraceEventKind, rank int, task int64, peer int, start sim.Time, req int64) {
 	ts := rt.tr
 	if ts == nil {
 		return
 	}
 	ts.tr.Event(obs.Event{
-		T: start, Dur: rt.eng.Now() - start, Rank: rank, Kind: kind, Task: task, Peer: peer,
+		T: start, Dur: rt.eng.Now() - start, Rank: rank, Kind: kind, Task: task, Peer: peer, Req: req,
 	})
 }
 
 // traceSteal records a successful steal span: same window as the
 // StealLatency increment at its call sites, plus the stolen payload size.
-func (rt *Runtime) traceSteal(rank int, task int64, peer int, start sim.Time, size int64) {
+func (rt *Runtime) traceSteal(rank int, task int64, peer int, start sim.Time, size, req int64) {
 	ts := rt.tr
 	if ts == nil {
 		return
 	}
 	ts.tr.Event(obs.Event{
 		T: start, Dur: rt.eng.Now() - start, Rank: rank, Kind: TraceSteal,
-		Task: task, Peer: peer, Size: size,
+		Task: task, Peer: peer, Size: size, Req: req,
 	})
 }
 
@@ -166,6 +176,9 @@ func (rt *Runtime) TraceLog() *Trace {
 			StealsFail:      rs.Work.StealsFail,
 			Resumed:         rs.Join.Resumed,
 		}
+	}
+	if ss := rt.lastServe; ss != nil {
+		t.Serve = newServeCheck(ss)
 	}
 	return t
 }
@@ -354,8 +367,138 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			chromeEvent{Name: "steal", Ph: "s", Cat: "steal", ID: id, Ts: s.ts, Pid: s.pid, Tid: s.tid},
 			chromeEvent{Name: "steal", Ph: "f", Cat: "steal", ID: id, BP: "e", Ts: f.ts, Pid: f.pid, Tid: f.tid})
 	}
+	t.appendSlowRequests(&out.TraceEvents, evs, nodes, cpn)
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// slowRequestK is how many of a serve trace's slowest requests get their
+// own span-tree process in the Chrome export.
+const slowRequestK = 3
+
+// reqFlowBase offsets per-request flow-arrow ids away from the steal-chain
+// id space.
+const reqFlowBase = 1_000_000
+
+// appendSlowRequests adds one Chrome process per slowest request of a serve
+// trace (pid = nodes + i): a lifecycle row (arrival/admit/start/done
+// instants, steals, fabric ops) plus one row per task of the request's DAG
+// in first-run order — the request's full span tree, isolated from the
+// rank timelines. Per-request flow arrows (arrive → start → done) are drawn
+// on the rank timelines so the request's path across ranks is visible in
+// context. Closed-system traces have no Serve block and are unaffected.
+func (t *Trace) appendSlowRequests(out *[]chromeEvent, evs []TraceEvent, nodes, cpn int) {
+	if t.Serve == nil || len(t.Serve.Done) == 0 {
+		return
+	}
+	sel := make([]RequestDone, len(t.Serve.Done))
+	copy(sel, t.Serve.Done)
+	sort.Slice(sel, func(i, j int) bool {
+		if si, sj := sel[i].Sojourn(), sel[j].Sojourn(); si != sj {
+			return si > sj
+		}
+		return sel[i].ID < sel[j].ID
+	})
+	if len(sel) > slowRequestK {
+		sel = sel[:slowRequestK]
+	}
+	for i, d := range sel {
+		tag := d.ID + 1
+		pid := nodes + i
+		*out = append(*out,
+			chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": fmt.Sprintf("slow request %d (sojourn %.3f us)", d.ID, d.Sojourn().Micros())},
+			},
+			chromeEvent{
+				Name: "process_sort_index", Ph: "M", Pid: pid,
+				Args: map[string]any{"sort_index": pid},
+			},
+			chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": "lifecycle/protocol"},
+			})
+		taskTid := map[int64]int{}
+		var arrive, start, done *TraceEvent
+		for j := range evs {
+			e := &evs[j]
+			if e.Req != tag {
+				continue
+			}
+			switch e.Kind {
+			case obs.KindServeArrive:
+				arrive = e
+			case obs.KindServeStart:
+				if start == nil {
+					start = e
+				}
+			case obs.KindServeDone:
+				done = e
+			}
+			tid := 0
+			if e.Kind == TraceRun || e.Kind == obs.KindCompute || e.Kind == TraceSuspend {
+				id, ok := taskTid[e.Task]
+				if !ok {
+					id = 1 + len(taskTid)
+					taskTid[e.Task] = id
+					*out = append(*out,
+						chromeEvent{
+							Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+							Args: map[string]any{"name": fmt.Sprintf("task %d", e.Task)},
+						},
+						chromeEvent{
+							Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: id,
+							Args: map[string]any{"sort_index": id},
+						})
+				}
+				tid = id
+			}
+			ce := chromeEvent{
+				Ts: e.T.Micros(), Pid: pid, Tid: tid,
+				Args: map[string]any{"task": e.Task, "rank": e.Rank},
+			}
+			switch {
+			case e.Kind == TraceRun:
+				ce.Name = fmt.Sprintf("task %d", e.Task)
+				ce.Ph = "X"
+				ce.Dur = e.Dur.Micros()
+			case e.Kind == TraceSteal:
+				ce.Name = fmt.Sprintf("steal from %d", e.Peer)
+				ce.Ph = "X"
+				ce.Dur = e.Dur.Micros()
+			case e.Kind == TraceResume:
+				ce.Name = string(e.Kind)
+				ce.Ph = "i"
+				ce.Ts = (e.T + e.Dur).Micros()
+				ce.Args["s"] = "t"
+				ce.Args["oj_wait_us"] = e.Dur.Micros()
+			case e.Dur > 0:
+				ce.Name = string(e.Kind)
+				ce.Ph = "X"
+				ce.Dur = e.Dur.Micros()
+			default:
+				ce.Name = string(e.Kind)
+				ce.Ph = "i"
+				ce.Args["s"] = "t"
+			}
+			*out = append(*out, ce)
+		}
+		// Flow arrows on the rank timelines: arrive → first start → done.
+		flowID := reqFlowBase + tag
+		hop := func(ph string, e *TraceEvent, bp string) {
+			*out = append(*out, chromeEvent{
+				Name: fmt.Sprintf("request %d", d.ID), Ph: ph, Cat: "req", ID: flowID, BP: bp,
+				Ts: e.T.Micros(), Pid: e.Rank / cpn, Tid: e.Rank * numTracks,
+			})
+		}
+		if arrive != nil && done != nil {
+			hop("s", arrive, "")
+			if start != nil {
+				hop("t", start, "")
+			}
+			hop("f", done, "e")
+		}
+	}
 }
 
 // BusyTimePerRank integrates compute-span durations per rank. Compute spans

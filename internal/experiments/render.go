@@ -11,6 +11,8 @@ import (
 	"io"
 	"strings"
 	"text/tabwriter"
+
+	"contsteal/internal/sim"
 )
 
 // Series is one TSV series of an experiment result, ready for plotting and
@@ -451,20 +453,87 @@ func (r ServeOut) Series() []Series {
 			fmt.Sprintf("%.6f", row.Makespan.Seconds()),
 			fmt.Sprintf("%.3f", row.GoodputRps)})
 	}
-	return []Series{s}
+	out := []Series{s}
+	if rs, ok := r.RequestSeries(); ok {
+		out = append(out, rs)
+	}
+	return out
 }
 
-// Summary reports the saturation throughput: the best goodput any cell of
-// the sweep sustained.
+// RequestSeries renders the per-request tail-attribution bands of the sweep
+// as their own TSV series (one line per ours-cell × band). Component columns
+// partition sojourn_ns exactly on every line — the conservation contract is
+// visible in the fixture itself. ok is false when no row carries bands
+// (request tracing off, or a bot-only sweep).
+func (r ServeOut) RequestSeries() (Series, bool) {
+	s := Series{Name: "serve_requests_" + r.machLabel(), Header: []string{
+		"machine", "system", "process", "admit", "load", "band", "requests",
+		"sojourn_ns", "admit_wait_ns", "queue_ns", "compute_ns", "steal_ns",
+		"fabric_ns", "sched_ns", "join_ns", "dominant"}}
+	for _, row := range r {
+		for _, b := range row.Bands {
+			s.Cells = append(s.Cells, []string{
+				row.Machine, row.System, row.Process, row.Admit,
+				fmt.Sprintf("%g", row.Load), b.Band, fmt.Sprint(b.Requests),
+				fmt.Sprint(int64(b.Sojourn)), fmt.Sprint(int64(b.AdmitWait)),
+				fmt.Sprint(int64(b.Queue)), fmt.Sprint(int64(b.Compute)),
+				fmt.Sprint(int64(b.StealXfer)), fmt.Sprint(int64(b.FabricWait)),
+				fmt.Sprint(int64(b.Sched)), fmt.Sprint(int64(b.JoinWait)),
+				b.DominantDelay()})
+		}
+	}
+	return s, len(s.Cells) > 0
+}
+
+// Summary reports the saturation throughput (the best goodput any cell of
+// the sweep sustained) and, when request attribution ran, the tail-latency
+// headline: the worst p999 sojourn among "ours" cells plus the share of
+// that cell's p999-band sojourn going to its dominant delay component (the
+// component's name is embedded in the key).
 func (r ServeOut) Summary() map[string]float64 {
 	if len(r) == 0 {
 		return nil
 	}
 	var max float64
-	for _, row := range r {
+	worst := -1
+	for i, row := range r {
 		if row.GoodputRps > max {
 			max = row.GoodputRps
 		}
+		if len(row.Bands) > 0 && (worst < 0 || row.P999 > r[worst].P999) {
+			worst = i
+		}
 	}
-	return map[string]float64{"saturation_goodput_rps": max}
+	out := map[string]float64{"saturation_goodput_rps": max}
+	if worst >= 0 {
+		row := r[worst]
+		out["p999_sojourn_us"] = float64(row.P999) / 1e3
+		for _, b := range row.Bands {
+			if b.Band == "p999" && b.Sojourn > 0 {
+				out["p999_dominant_share_"+b.DominantDelay()] = dominantShare(b)
+			}
+		}
+	}
+	return out
+}
+
+// dominantShare is the fraction of the band's total sojourn spent in its
+// dominant delay component.
+func dominantShare(b ServeReqBand) float64 {
+	var v sim.Time
+	switch b.DominantDelay() {
+	case "admit_wait":
+		v = b.AdmitWait
+	case "queue":
+		v = b.Queue
+	case "steal":
+		v = b.StealXfer
+	case "fabric":
+		v = b.FabricWait
+	case "sched":
+		v = b.Sched
+	case "join":
+		v = b.JoinWait
+	}
+	return float64(v) / float64(b.Sojourn)
 }

@@ -42,6 +42,89 @@ type ServeRow struct {
 	MaxSojourn     sim.Time
 	Makespan       sim.Time
 	GoodputRps     float64 // completed requests per second of virtual time
+
+	// Bands carries the per-request sojourn attribution aggregated over the
+	// p50/p99/p999 tail bands. Only "ours" cells have one (the bot models
+	// don't emit request-tagged traces), and only when request tracing is on
+	// (ServeParams.NoReqTrace unset).
+	Bands []ServeReqBand `json:",omitempty"`
+}
+
+// ServeReqBand aggregates the trace-derived request attribution over one
+// sojourn tail band: the completed requests whose sojourn is at or above the
+// band's percentile (so "p999" is the slowest ~0.1%). The component columns
+// partition Sojourn exactly, per request and therefore per band.
+type ServeReqBand struct {
+	Band     string   // p50 / p99 / p999
+	Requests int      // completed requests in the band
+	Sojourn  sim.Time // Σ sojourn over the band (== sum of the components)
+
+	AdmitWait  sim.Time
+	Queue      sim.Time
+	Compute    sim.Time
+	StealXfer  sim.Time
+	FabricWait sim.Time
+	Sched      sim.Time
+	JoinWait   sim.Time
+}
+
+// DominantDelay names the band's largest non-compute component — the
+// actionable answer to "where did the tail latency go" (compute is the
+// request's own work; the rest is scheduler- or fabric-induced delay).
+// Returns "none" when the band has no delay at all. Ties break toward the
+// earlier name in the fixed order, so the label is deterministic.
+func (b ServeReqBand) DominantDelay() string {
+	names := [...]string{"admit_wait", "queue", "steal", "fabric", "sched", "join"}
+	vals := [...]sim.Time{b.AdmitWait, b.Queue, b.StealXfer, b.FabricWait, b.Sched, b.JoinWait}
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	if vals[best] == 0 {
+		return "none"
+	}
+	return names[best]
+}
+
+// ServeReqBands folds per-request attributions into the three tail bands.
+// Exported for `repro analyze -requests`, whose table must agree with the
+// sweep's serve_requests TSV digit-for-digit.
+func ServeReqBands(atts []core.RequestAttribution) []ServeReqBand {
+	if len(atts) == 0 {
+		return nil
+	}
+	sojourns := make([]sim.Time, len(atts))
+	for i, a := range atts {
+		sojourns[i] = a.Sojourn()
+	}
+	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+	bands := []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}}
+	out := make([]ServeReqBand, 0, len(bands))
+	for _, bd := range bands {
+		thr := core.Percentile(sojourns, bd.q)
+		b := ServeReqBand{Band: bd.name}
+		for _, a := range atts {
+			if a.Sojourn() < thr {
+				continue
+			}
+			b.Requests++
+			b.Sojourn += a.Sojourn()
+			b.AdmitWait += a.AdmitWait
+			b.Queue += a.Queue
+			b.Compute += a.Compute
+			b.StealXfer += a.StealXfer
+			b.FabricWait += a.FabricWait
+			b.Sched += a.Sched
+			b.JoinWait += a.JoinWait
+		}
+		out = append(out, b)
+	}
+	return out
 }
 
 // ServeParams scopes the sweep grid.
@@ -61,6 +144,12 @@ type ServeParams struct {
 	// AdmitRate of capacity shed the excess instead of queueing it.
 	AdmitRate  float64 // default 0.9
 	AdmitBurst int     // default 16
+	// NoReqTrace disables request tracing on "ours" cells. By default every
+	// cell runs with the event trace on, cross-checks the per-request
+	// attribution against the serve counters (panicking on any mismatch),
+	// and fills ServeRow.Bands. The sojourn/goodput columns are computed
+	// from ServeStats either way and are byte-identical in both modes.
+	NoReqTrace bool
 }
 
 func (p *ServeParams) defaults() {
@@ -136,19 +225,11 @@ func (p ServeParams) admission(name string, capacityRps float64) *workload.Admis
 }
 
 // percentile returns the exact q-quantile of sorted by the order-statistic
-// rule x_(⌈q·n⌉) — no interpolation, so goldens are byte-stable.
+// rule x_(⌈q·n⌉) — no interpolation, so goldens are byte-stable. It
+// delegates to core.Percentile so experiment rows and trace-side request
+// tables agree digit-for-digit.
 func percentile(sorted []sim.Time, q float64) sim.Time {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(float64(len(sorted))*q+0.999999) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return core.Percentile(sorted, q)
 }
 
 // fillSojourns completes a row from per-request sojourn times and the run's
@@ -213,6 +294,11 @@ func ServeOnce(o Options, p ServeParams, system, process, admit string, load flo
 		if mine {
 			o.Obs.apply(&cfg)
 		}
+		if !p.NoReqTrace {
+			// Request attribution needs the event trace; tracers only
+			// observe, so this cannot change a single simulated tick.
+			cfg.Trace = true
+		}
 		rt := core.New(cfg)
 		start := time.Now()
 		st := rt.Serve(coreReqs, p.Horizon)
@@ -230,6 +316,14 @@ func ServeOnce(o Options, p ServeParams, system, process, admit string, load flo
 			sojourns[i] = d.Sojourn()
 		}
 		row.fillSojourns(sojourns, st.ExecTime)
+		if !p.NoReqTrace {
+			tlog := rt.TraceLog()
+			if err := tlog.VerifyRequests(); err != nil {
+				panic(fmt.Sprintf("experiments: serve cell %s/%s/%s load %g: request attribution cross-check failed: %v",
+					system, process, admit, load, err))
+			}
+			row.Bands = ServeReqBands(tlog.RequestAttribution())
+		}
 	case "saws", "charm", "glb":
 		arrivals := make([]bot.ServeArrival, len(admitted))
 		arrivedAt := make(map[int64]sim.Time, len(admitted))

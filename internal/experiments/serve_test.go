@@ -143,6 +143,94 @@ func TestServeSojournHistogramCell(t *testing.T) {
 	}
 }
 
+// TestServeReqBandsConservation: every "ours" cell carries the p50/p99/p999
+// attribution bands, each band's components sum exactly to its sojourn
+// total, and the band populations nest (p999 ⊆ p99 ⊆ p50 tails).
+func TestServeReqBandsConservation(t *testing.T) {
+	r := ServeOnce(tinyOpts(), tinyServeParams(), "ours", "poisson", "always", 0.5)
+	if len(r.Bands) != 3 {
+		t.Fatalf("got %d attribution bands, want 3", len(r.Bands))
+	}
+	for i, b := range r.Bands {
+		sum := b.AdmitWait + b.Queue + b.Compute + b.StealXfer + b.FabricWait + b.Sched + b.JoinWait
+		if sum != b.Sojourn {
+			t.Errorf("band %s: components sum to %v, sojourn total %v", b.Band, sum, b.Sojourn)
+		}
+		if b.Requests == 0 {
+			t.Errorf("band %s is empty", b.Band)
+		}
+		if b.Compute == 0 {
+			t.Errorf("band %s attributes no compute", b.Band)
+		}
+		if i > 0 && b.Requests > r.Bands[i-1].Requests {
+			t.Errorf("band %s has %d requests, more than wider band %s's %d",
+				b.Band, b.Requests, r.Bands[i-1].Band, r.Bands[i-1].Requests)
+		}
+	}
+	if want := []string{"p50", "p99", "p999"}; !reflect.DeepEqual(
+		[]string{r.Bands[0].Band, r.Bands[1].Band, r.Bands[2].Band}, want) {
+		t.Errorf("band order %v, want %v", r.Bands, want)
+	}
+	// Bot systems never carry bands.
+	if b := ServeOnce(tinyOpts(), tinyServeParams(), "saws", "poisson", "always", 0.5); b.Bands != nil {
+		t.Errorf("saws row carries %d attribution bands", len(b.Bands))
+	}
+}
+
+// TestServeNoReqTraceIdenticalRows: disabling request tracing removes the
+// bands and changes nothing else — the tracer-only-observes guarantee at
+// the row level.
+func TestServeNoReqTraceIdenticalRows(t *testing.T) {
+	on := ServeOnce(tinyOpts(), tinyServeParams(), "ours", "mmpp", "token", 2)
+	p := tinyServeParams()
+	p.NoReqTrace = true
+	off := ServeOnce(tinyOpts(), p, "ours", "mmpp", "token", 2)
+	if off.Bands != nil {
+		t.Fatalf("NoReqTrace row still carries %d bands", len(off.Bands))
+	}
+	if on.Bands == nil {
+		t.Fatal("traced row carries no bands")
+	}
+	on.Bands = nil
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("request tracing changed the row:\n on %+v\noff %+v", on, off)
+	}
+}
+
+// TestServeRequestSeries: the serve_requests series renders one line per
+// ours-cell × band and the TSV columns preserve the conservation identity.
+func TestServeRequestSeries(t *testing.T) {
+	p := tinyServeParams()
+	p.Systems = []string{"ours", "glb"}
+	rows := ServeOut(Serve(tinyOpts(), p))
+	s, ok := rows.RequestSeries()
+	if !ok {
+		t.Fatal("no request series from a traced ours sweep")
+	}
+	p.defaults()
+	oursCells := len(p.Processes) * len(p.Admits) * len(p.Loads)
+	if want := oursCells * 3; len(s.Cells) != want {
+		t.Fatalf("request series has %d lines, want %d", len(s.Cells), want)
+	}
+	if s.Name != "serve_requests_itoa" {
+		t.Errorf("series name %q", s.Name)
+	}
+	all := rows.Series()
+	if got := all[len(all)-1].Name; got != s.Name {
+		t.Errorf("Series() does not end with the request series (got %q)", got)
+	}
+	for _, c := range s.Cells {
+		if c[1] != "ours" {
+			t.Errorf("request series line for system %q", c[1])
+		}
+	}
+	// NoReqTrace sweeps render no request series.
+	p.NoReqTrace = true
+	if _, ok := ServeOut(Serve(tinyOpts(), p)).RequestSeries(); ok {
+		t.Error("NoReqTrace sweep still renders a request series")
+	}
+}
+
 // TestServeRowsParallelShardsIdentical: the sweep's rows are identical under
 // host parallelism and engine sharding — the open-system path inherits the
 // engine's determinism guarantee.

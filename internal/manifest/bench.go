@@ -16,9 +16,15 @@ import (
 	"contsteal/internal/sim"
 )
 
-// BenchSchema identifies the artifact format; ParseBench rejects anything
-// else.
-const BenchSchema = "contsteal-bench/v1"
+// BenchSchema identifies the artifact format new runs emit. v2 added the
+// serve tail-latency headline summary keys (p999_sojourn_us and the
+// p999_dominant_share_<component> family) — a compatible growth, so
+// ParseBench still accepts v1 artifacts (the committed trajectory keeps
+// validating).
+const BenchSchema = "contsteal-bench/v2"
+
+// benchSchemaV1 is the previous artifact tag, accepted on parse.
+const benchSchemaV1 = "contsteal-bench/v1"
 
 // Bench is one run's perf artifact.
 type Bench struct {
@@ -60,8 +66,8 @@ func ParseBench(data []byte) (*Bench, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("bench: trailing data after the top-level object")
 	}
-	if b.Schema != BenchSchema {
-		return nil, fmt.Errorf("bench: schema %q, want %q", b.Schema, BenchSchema)
+	if b.Schema != BenchSchema && b.Schema != benchSchemaV1 {
+		return nil, fmt.Errorf("bench: schema %q, want %q (or the legacy %q)", b.Schema, BenchSchema, benchSchemaV1)
 	}
 	if b.Stamp == "" {
 		return nil, fmt.Errorf("bench: empty stamp")

@@ -51,6 +51,7 @@ type Params struct {
 	Arrivals    []string  `json:"arrivals,omitempty"`  // serve: poisson/mmpp
 	Admits      []string  `json:"admits,omitempty"`    // serve: always/token
 	HorizonUs   float64   `json:"horizon_us,omitempty"`
+	NoReqTrace  bool      `json:"no_req_trace,omitempty"` // serve: skip request tracing/attribution
 }
 
 // Merge returns p with every set (non-zero) field of o overriding. List
@@ -115,6 +116,9 @@ func (p Params) Merge(o Params) Params {
 	}
 	if o.HorizonUs != 0 {
 		p.HorizonUs = o.HorizonUs
+	}
+	if o.NoReqTrace {
+		p.NoReqTrace = true
 	}
 	return p
 }

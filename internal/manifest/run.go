@@ -8,6 +8,10 @@
 //	  json/<id>.json     each entry's structured rows
 //	  metrics/<id>.tsv   deterministic metrics registry of the entry's
 //	                     first fork-join run (when one ran)
+//	  metrics/<id>.requests.tsv
+//	                     per-request tail-attribution bands of a serve entry
+//	                     (when request tracing ran; same bytes as the entry's
+//	                     golden-validated serve_requests_* series)
 //	  bench/BENCH_<stamp>.json  the perf artifact (see bench.go)
 //	  summary.tsv        the paper-ready summary table, one row per entry
 //
@@ -189,6 +193,20 @@ func writeEntry(dir string, e Entry, r experiments.Rendering) error {
 		}
 		for _, s := range series {
 			f, err := os.Create(filepath.Join(sub, s.Name+".tsv"))
+			if err != nil {
+				return err
+			}
+			s.Write(f)
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if rr, ok := r.(interface {
+		RequestSeries() (experiments.Series, bool)
+	}); ok {
+		if s, ok := rr.RequestSeries(); ok {
+			f, err := os.Create(filepath.Join(dir, "metrics", e.ID+".requests.tsv"))
 			if err != nil {
 				return err
 			}

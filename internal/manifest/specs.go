@@ -202,8 +202,9 @@ func init() {
 		},
 	})
 	Register(Spec{
-		Name:   "serve",
-		Golden: []string{"serve_itoa.tsv", "serve_wisteria.tsv"},
+		Name: "serve",
+		Golden: []string{"serve_itoa.tsv", "serve_wisteria.tsv",
+			"serve_requests_itoa.tsv", "serve_requests_wisteria.tsv"},
 		Run: func(p Params, x Exec) (experiments.Rendering, error) {
 			o, err := optionsFrom(p, x)
 			if err != nil {
@@ -224,7 +225,8 @@ func init() {
 			sp := experiments.ServeParams{
 				Requests: p.Requests, Loads: p.Loads, Systems: p.Systems,
 				Processes: p.Arrivals, Admits: p.Admits,
-				Horizon: sim.Time(p.HorizonUs * float64(sim.Microsecond)),
+				Horizon:    sim.Time(p.HorizonUs * float64(sim.Microsecond)),
+				NoReqTrace: p.NoReqTrace,
 			}
 			return experiments.ServeOut(experiments.Serve(o, sp)), nil
 		},

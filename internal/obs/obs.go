@@ -92,6 +92,19 @@ const (
 	KindRestore   Kind = "uniaddr.restore"   // local copy evacuation -> uni region
 )
 
+// Open-system serve lifecycle kinds (emitted by core.Runtime.Serve). All
+// four are instants on the request's timeline; Rank is the worker whose
+// inbox the request was assigned to. arrive marks front-end receipt and
+// admit marks inbox entry — today they coincide (admission decisions are
+// made before injection), so admit-arrive is the seam where an SLO-aware
+// admission delay will appear.
+const (
+	KindServeArrive Kind = "serve.arrive" // request reached the front end (instant)
+	KindServeAdmit  Kind = "serve.admit"  // request entered a worker inbox (instant)
+	KindServeStart  Kind = "serve.start"  // root task popped from the inbox (instant)
+	KindServeDone   Kind = "serve.done"   // request DAG fully joined (instant)
+)
+
 // Layer returns the dotted prefix of a kind ("rdma", "deque", ...) or
 // "sched" for the scheduler-level kinds (including "steal.fail", whose dot
 // marks an outcome, not a layer).
@@ -128,6 +141,11 @@ type Event struct {
 	// ID correlates the spans of one multi-op protocol instance (e.g. a
 	// steal's thief-side span with its victim-side deque phases). 0 = none.
 	ID int64 `json:"id,omitempty"`
+	// Req tags the event with the serve request whose DAG it belongs to.
+	// The tag is the request ID plus one so that 0 means "no request" and
+	// closed-system traces stay byte-identical (omitempty). Display ID =
+	// Req - 1.
+	Req int64 `json:"req,omitempty"`
 }
 
 // Tracer receives instrumentation events. Implementations must not consume

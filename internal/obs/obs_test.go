@@ -60,6 +60,85 @@ func TestHistObserveAndMerge(t *testing.T) {
 	}
 }
 
+// TestRegistryMergeEmpty: merging an empty registry in either direction is a
+// no-op on values and must not register phantom metrics or disturb the
+// serialization — the "idle rank" case of the rank-order merge.
+func TestRegistryMergeEmpty(t *testing.T) {
+	full := NewRegistry()
+	full.Counter("steals").Add(3)
+	full.Hist("lat", TimeBuckets()).Observe(2 * sim.Microsecond)
+	var before bytes.Buffer
+	if err := full.WriteTSV(&before); err != nil {
+		t.Fatal(err)
+	}
+	full.Merge(NewRegistry())
+	var after bytes.Buffer
+	if err := full.WriteTSV(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Errorf("merging an empty registry changed the output:\n%s\nvs\n%s", &before, &after)
+	}
+	// Empty ← full registers everything of the source, with equal values.
+	empty := NewRegistry()
+	empty.Merge(full)
+	var got bytes.Buffer
+	if err := empty.WriteTSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), before.Bytes()) {
+		t.Errorf("empty.Merge(full) output differs:\n%s\nvs\n%s", &got, &before)
+	}
+	// Empty ← empty serializes to just the header.
+	var hdr bytes.Buffer
+	if err := NewRegistry().WriteTSV(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.String() != "row\tname\tle_ns\tcount\tsum_ns\tmax_ns\n" {
+		t.Errorf("empty registry TSV = %q", hdr.String())
+	}
+}
+
+// TestHistOverflowBucket: values above the last bound land in the overflow
+// bucket, are still counted in N/Sum/Max, serialize under le=+inf, and the
+// bucket counts always sum to N — including after merges and at the exact
+// boundary (le is inclusive).
+func TestHistOverflowBucket(t *testing.T) {
+	bounds := []sim.Time{10, 100}
+	h := NewHist("x", bounds)
+	h.Observe(100)     // last real bucket, inclusive
+	h.Observe(101)     // overflow
+	h.Observe(1 << 40) // deep overflow
+	if h.Counts[len(bounds)] != 2 {
+		t.Fatalf("overflow bucket = %d, want 2 (counts %v)", h.Counts[len(bounds)], h.Counts)
+	}
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	if n != h.N || h.N != 3 {
+		t.Fatalf("bucket counts sum to %d, N=%d", n, h.N)
+	}
+	if h.Max != 1<<40 || h.Sum != 100+101+(1<<40) {
+		t.Fatalf("overflow not in summary: Sum=%d Max=%d", h.Sum, h.Max)
+	}
+	o := NewHist("x", bounds)
+	o.Observe(999)
+	h.Merge(o)
+	if h.Counts[len(bounds)] != 3 || h.N != 4 {
+		t.Fatalf("merge lost overflow: Counts=%v N=%d", h.Counts, h.N)
+	}
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.Hist("x", bounds).Merge(h)
+	if err := r.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("bucket\tx\t+inf\t3\t-\t-\n")) {
+		t.Errorf("overflow bucket not serialized as +inf:\n%s", &buf)
+	}
+}
+
 func TestRegistryMergeDeterministic(t *testing.T) {
 	mk := func(stealFirst bool) *Registry {
 		r := NewRegistry()
@@ -93,5 +172,64 @@ func TestRegistryMergeDeterministic(t *testing.T) {
 	}
 	if m1.Counter("steals").N != 4 {
 		t.Fatalf("steals = %d, want 4", m1.Counter("steals").N)
+	}
+}
+
+// TestRegistryMergeSilentRank: a rank that never touched some metric (an
+// idle worker that saw no migrations) contributes nothing for it, yet the
+// rank-order merge keeps the totals right and the serialization identical to
+// the run where that rank observed zero explicitly — a silent rank cannot
+// shift the registration order established by earlier ranks.
+func TestRegistryMergeSilentRank(t *testing.T) {
+	busy := func() *Registry {
+		r := NewRegistry()
+		r.Counter("steals").Add(5)
+		r.Counter("migrations").Add(1)
+		r.Hist("lat", TimeBuckets()).Observe(4 * sim.Microsecond)
+		return r
+	}
+	silent := func() *Registry {
+		r := NewRegistry()
+		r.Counter("steals") // registered, never incremented
+		return r
+	}
+	explicitZero := func() *Registry {
+		r := NewRegistry()
+		r.Counter("steals").Add(0)
+		r.Counter("migrations").Add(0)
+		r.Hist("lat", TimeBuckets())
+		return r
+	}
+	merge := func(ranks ...*Registry) *bytes.Buffer {
+		m := NewRegistry()
+		for _, r := range ranks {
+			m.Merge(r)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a := merge(busy(), silent(), busy())
+	b := merge(busy(), explicitZero(), busy())
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("silent rank serializes differently from an explicit-zero rank:\n%s\nvs\n%s", a, b)
+	}
+	m := NewRegistry()
+	for _, r := range []*Registry{busy(), silent(), busy()} {
+		m.Merge(r)
+	}
+	if m.Counter("steals").N != 10 || m.Counter("migrations").N != 2 {
+		t.Errorf("totals wrong with a silent middle rank: steals=%d migrations=%d",
+			m.Counter("steals").N, m.Counter("migrations").N)
+	}
+	if h, ok := m.Lookup("lat"); !ok || h.N != 2 {
+		t.Errorf("lat histogram lost samples across the silent rank")
+	}
+	// A silent FIRST rank must not reorder later ranks' registrations.
+	c := merge(silent(), busy(), busy())
+	if !bytes.Equal(c.Bytes(), a.Bytes()) {
+		t.Errorf("silent first rank changed the serialization order:\n%s\nvs\n%s", c, a)
 	}
 }
