@@ -419,18 +419,23 @@ func BenchmarkServeSaturation(b *testing.B) {
 // benchEngineSharded runs a fixed shard-confined program — 4 logical nodes
 // exchanging cross-node events at exactly the lookahead of the WISTERIA-O
 // model — on a windowed group of the given shard count and reports host
-// event throughput. The virtual-time result is identical for every shard
-// count (the differential tests assert it); only host wall time changes.
-// On a multi-core host the 4-shard run executes windows concurrently; on a
-// single-thread host the numbers only instrument the windowing overhead.
-func benchEngineSharded(b *testing.B, shards int) {
+// event throughput plus barrier rounds per run. The virtual-time result is
+// identical for every shard count and window mode (the differential tests
+// assert it); only host wall time and round counts change. On a multi-core
+// host the multi-shard runs execute rounds concurrently; on a single-thread
+// host the numbers only instrument the windowing overhead. The Lockstep
+// variants pin the old single-global-window mode as the before side of the
+// adaptive-lookahead comparison (EXPERIMENTS.md "Host throughput").
+func benchEngineSharded(b *testing.B, shards int, lockstep bool) {
 	const nodes = 4
 	const steps = 20000
 	look := experiments.MachineByName("wisteria").MinCrossNodeLatency()
-	var events uint64
+	var events, rounds uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := sim.NewSharded(shards, look)
+		s.SetLockStep(lockstep)
 		for node := 0; node < nodes; node++ {
 			node := node
 			shard := node % shards
@@ -447,11 +452,16 @@ func benchEngineSharded(b *testing.B, shards int) {
 		}
 		s.Run(sim.Forever)
 		events = s.Stats().Events
+		rounds = s.Rounds()
+		s.Shutdown()
 	}
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(float64(events), "events/run")
+	b.ReportMetric(float64(rounds), "rounds/run")
 }
 
-func BenchmarkEngineSharded1(b *testing.B) { benchEngineSharded(b, 1) }
-func BenchmarkEngineSharded2(b *testing.B) { benchEngineSharded(b, 2) }
-func BenchmarkEngineSharded4(b *testing.B) { benchEngineSharded(b, 4) }
+func BenchmarkEngineSharded1(b *testing.B)         { benchEngineSharded(b, 1, false) }
+func BenchmarkEngineSharded2(b *testing.B)         { benchEngineSharded(b, 2, false) }
+func BenchmarkEngineSharded4(b *testing.B)         { benchEngineSharded(b, 4, false) }
+func BenchmarkEngineShardedLockstep2(b *testing.B) { benchEngineSharded(b, 2, true) }
+func BenchmarkEngineShardedLockstep4(b *testing.B) { benchEngineSharded(b, 4, true) }

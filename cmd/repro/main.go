@@ -15,6 +15,10 @@
 //	repro serve  [-machine ...] [-workers N] [-requests R] [-loads 0.1,0.5,1,2]
 //	             [-systems ours,saws,charm,glb] [-arrivals poisson,mmpp]
 //	             [-admits always,token] [-horizon-us U]
+//	repro enginebench [-machine ...] [-scale K]
+//	             (host-side sharded-engine throughput: adaptive vs lock-step
+//	              windows over a shard ladder; wall-clock figures surface in
+//	              the BENCH artifact, the tables stay deterministic)
 //	repro all    (runs the manifest's paper grid, honoring explicit flags)
 //	repro run    [-scale smoke|paper] [-only fig6,serve] [-out paper_runs]
 //	             [-stamp NAME] [-manifest FILE] [-goldens DIR]
@@ -125,7 +129,7 @@ type section struct {
 }
 
 func usageErr() error {
-	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|serve|all|run|validate|analyze} [flags]")
+	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|enginebench|serve|all|run|validate|analyze} [flags]")
 }
 
 // run executes one repro invocation against the given writers. All tables
@@ -464,7 +468,11 @@ func runValidate(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "%d series checked: %d ok, %d mismatches, %d without goldens\n",
 		len(checks), ok, mismatches, noGolden)
-	// A run folder also carries its BENCH artifact; re-check its schema.
+	// A run folder also carries its BENCH artifact; re-check its schema,
+	// and flag throughput comparisons this host cannot honestly make: an
+	// artifact measured under a different core count or GOMAXPROCS is not
+	// comparable to numbers produced here.
+	host := &manifest.Bench{HostCPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	benches, _ := filepath.Glob(filepath.Join(fs.Arg(0), "bench", "BENCH_*.json"))
 	for _, path := range benches {
 		data, err := os.ReadFile(path)
@@ -476,6 +484,10 @@ func runValidate(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("repro validate: %s: %w", path, err)
 		}
 		fmt.Fprintf(stdout, "bench ok  %s (schema %s)\n", path, b.Schema)
+		if why := b.HostMismatch(host); why != "" {
+			fmt.Fprintf(stdout, "WARNING   %s was measured on a different host (%s): its events/sec figures are not comparable to runs made here\n",
+				path, why)
+		}
 	}
 	if mismatches > 0 {
 		return fmt.Errorf("repro validate: %d series mismatch the goldens", mismatches)

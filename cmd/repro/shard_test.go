@@ -115,6 +115,21 @@ func TestGoldenShardsResilience(t *testing.T) {
 		[]string{"resilience_T1L'_itoa.tsv"})
 }
 
+// TestShardsDifferentialPerturbed runs the fig9 micro grid at -shards 4
+// under a -perturb overlay combining latency jitter with message drops —
+// the regression for jittered delays vs. the advertised lookahead lower
+// bound. Jitter stretches every cross-node op by up to 90% (OpDelay clamps
+// it to at least the base latency, so the per-shard-pair windows stay
+// sound), and drops force the msg layer's retransmit timers to re-file
+// deliveries across shard boundaries. Every output byte must match the
+// -shards 1 run, trace and metrics on.
+func TestShardsDifferentialPerturbed(t *testing.T) {
+	diffShards(t,
+		[]string{"fig9", "-tree", "T1L", "-workers-list", "96", "-seqdepth", "10", "-seed", "7",
+			"-perturb", "jitter=0.9,drop=0.05,seed=3"},
+		[]string{"uts_T1L'_wisteria.tsv"})
+}
+
 // TestGoldenShardsTraceJSON reruns the complete micro event-log fixture
 // under -shards 4: the full trace — every span of every layer in dispatch
 // order — is the strictest byte-identity gate the repo has.

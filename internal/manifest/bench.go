@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"contsteal/internal/experiments"
@@ -18,22 +19,31 @@ import (
 
 // BenchSchema identifies the artifact format new runs emit. v2 added the
 // serve tail-latency headline summary keys (p999_sojourn_us and the
-// p999_dominant_share_<component> family) — a compatible growth, so
-// ParseBench still accepts v1 artifacts (the committed trajectory keeps
-// validating).
-const BenchSchema = "contsteal-bench/v2"
+// p999_dominant_share_<component> family); v3 adds the host's GOMAXPROCS at
+// run time, so throughput numbers carry the core count they were measured
+// under. Both are compatible growths: ParseBench still accepts v1 and v2
+// artifacts (the committed trajectory keeps validating), but a v3 artifact
+// must carry a positive gomaxprocs.
+const BenchSchema = "contsteal-bench/v3"
 
-// benchSchemaV1 is the previous artifact tag, accepted on parse.
-const benchSchemaV1 = "contsteal-bench/v1"
+// The previous artifact tags, accepted on parse.
+const (
+	benchSchemaV1 = "contsteal-bench/v1"
+	benchSchemaV2 = "contsteal-bench/v2"
+)
 
-// Bench is one run's perf artifact.
+// Bench is one run's perf artifact. HostCPUs is runtime.NumCPU and
+// GoMaxProcs is runtime.GOMAXPROCS at run time (v3+): events/sec figures
+// are only comparable between artifacts measured on the same core budget,
+// and `repro validate` warns when they differ.
 type Bench struct {
-	Schema   string       `json:"schema"`
-	Stamp    string       `json:"stamp"`
-	Scale    string       `json:"scale"`
-	Go       string       `json:"go"`
-	HostCPUs int          `json:"host_cpus"`
-	Entries  []BenchEntry `json:"entries"`
+	Schema     string       `json:"schema"`
+	Stamp      string       `json:"stamp"`
+	Scale      string       `json:"scale"`
+	Go         string       `json:"go"`
+	HostCPUs   int          `json:"host_cpus"`
+	GoMaxProcs int          `json:"gomaxprocs,omitempty"` // absent in v1/v2
+	Entries    []BenchEntry `json:"entries"`
 }
 
 // BenchEntry aggregates the engine counters of every fork-join run of one
@@ -66,8 +76,12 @@ func ParseBench(data []byte) (*Bench, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("bench: trailing data after the top-level object")
 	}
-	if b.Schema != BenchSchema && b.Schema != benchSchemaV1 {
-		return nil, fmt.Errorf("bench: schema %q, want %q (or the legacy %q)", b.Schema, BenchSchema, benchSchemaV1)
+	if b.Schema != BenchSchema && b.Schema != benchSchemaV2 && b.Schema != benchSchemaV1 {
+		return nil, fmt.Errorf("bench: schema %q, want %q (or the legacy %q, %q)",
+			b.Schema, BenchSchema, benchSchemaV2, benchSchemaV1)
+	}
+	if b.Schema == BenchSchema && b.GoMaxProcs < 1 {
+		return nil, fmt.Errorf("bench: %s artifact with gomaxprocs %d, want >= 1", BenchSchema, b.GoMaxProcs)
 	}
 	if b.Stamp == "" {
 		return nil, fmt.Errorf("bench: empty stamp")
@@ -98,6 +112,21 @@ func (b *Bench) Marshal() ([]byte, error) {
 		return nil, err
 	}
 	return append(buf, '\n'), nil
+}
+
+// HostMismatch reports why throughput comparisons between two artifacts
+// would be apples-to-oranges: differing host core counts or GOMAXPROCS.
+// An empty string means the hosts are comparable. Artifacts predating v3
+// carry no gomaxprocs; that dimension is skipped rather than flagged.
+func (b *Bench) HostMismatch(other *Bench) string {
+	var why []string
+	if b.HostCPUs != other.HostCPUs {
+		why = append(why, fmt.Sprintf("host_cpus %d vs %d", b.HostCPUs, other.HostCPUs))
+	}
+	if b.GoMaxProcs > 0 && other.GoMaxProcs > 0 && b.GoMaxProcs != other.GoMaxProcs {
+		why = append(why, fmt.Sprintf("gomaxprocs %d vs %d", b.GoMaxProcs, other.GoMaxProcs))
+	}
+	return strings.Join(why, ", ")
 }
 
 // benchAgg accumulates EngineStats callbacks for one manifest entry.

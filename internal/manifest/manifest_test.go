@@ -105,10 +105,11 @@ func TestParseRejects(t *testing.T) {
 }
 
 // TestRegistryCompleteness pins the registered experiment set: the nine
-// paper experiments in canonical order, each runnable, and every committed
-// golden fixture owned by exactly one spec.
+// paper experiments plus the host-side engine benchmark in canonical order,
+// each runnable, and every committed golden fixture owned by exactly one
+// spec.
 func TestRegistryCompleteness(t *testing.T) {
-	want := []string{"fig6", "table2", "fig7", "fig8", "fig9", "table3", "fig12", "resilience", "serve"}
+	want := []string{"fig6", "table2", "fig7", "fig8", "fig9", "table3", "fig12", "resilience", "enginebench", "serve"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d specs %v, want %d %v", len(got), got, len(want), want)
@@ -131,6 +132,7 @@ func TestRegistryCompleteness(t *testing.T) {
 	wantGoldens := []string{
 		"fig6_pfor_itoa.tsv", "uts_T1L'_itoa.tsv", "uts_T1WL'_wisteria.tsv",
 		"resilience_T1L'_itoa.tsv", "serve_itoa.tsv", "serve_wisteria.tsv",
+		"enginebench_itoa.tsv",
 	}
 	for _, g := range wantGoldens {
 		if owners[g] == "" {
@@ -223,6 +225,21 @@ func TestParseBench(t *testing.T) {
 	if _, err := ParseBench(buf); err != nil {
 		t.Errorf("Marshal output rejected: %v", err)
 	}
+	// All three schema generations parse; only v3 requires gomaxprocs.
+	v2 := strings.Replace(good, "contsteal-bench/v1", "contsteal-bench/v2", 1)
+	if _, err := ParseBench([]byte(v2)); err != nil {
+		t.Errorf("v2 artifact rejected: %v", err)
+	}
+	v3 := strings.Replace(
+		strings.Replace(good, "contsteal-bench/v1", "contsteal-bench/v3", 1),
+		`"host_cpus":1`, `"host_cpus":1,"gomaxprocs":4`, 1)
+	b3, err := ParseBench([]byte(v3))
+	if err != nil {
+		t.Fatalf("v3 artifact rejected: %v", err)
+	}
+	if b3.GoMaxProcs != 4 {
+		t.Errorf("v3 gomaxprocs = %d, want 4", b3.GoMaxProcs)
+	}
 	bad := []struct{ name, doc string }{
 		{"wrong schema", strings.Replace(good, "contsteal-bench/v1", "v2", 1)},
 		{"unknown field", strings.Replace(good, `"stamp"`, `"stammp"`, 1)},
@@ -230,11 +247,30 @@ func TestParseBench(t *testing.T) {
 		{"no entries", `{"schema":"contsteal-bench/v1","stamp":"t","scale":"s","go":"g","host_cpus":1,"entries":[]}`},
 		{"jobs without events", strings.Replace(good, `"events":10`, `"events":0`, 1)},
 		{"shards zero", strings.Replace(good, `"shards":1`, `"shards":0`, 1)},
+		{"v3 without gomaxprocs", strings.Replace(good, "contsteal-bench/v1", "contsteal-bench/v3", 1)},
 	}
 	for _, tc := range bad {
 		if _, err := ParseBench([]byte(tc.doc)); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+// TestBenchHostMismatch pins the cross-host comparability warning logic.
+func TestBenchHostMismatch(t *testing.T) {
+	a := &Bench{HostCPUs: 4, GoMaxProcs: 4}
+	if why := a.HostMismatch(&Bench{HostCPUs: 4, GoMaxProcs: 4}); why != "" {
+		t.Errorf("identical hosts flagged: %q", why)
+	}
+	if why := a.HostMismatch(&Bench{HostCPUs: 8, GoMaxProcs: 4}); !strings.Contains(why, "host_cpus 4 vs 8") {
+		t.Errorf("cpu mismatch not flagged: %q", why)
+	}
+	if why := a.HostMismatch(&Bench{HostCPUs: 4, GoMaxProcs: 2}); !strings.Contains(why, "gomaxprocs 4 vs 2") {
+		t.Errorf("gomaxprocs mismatch not flagged: %q", why)
+	}
+	// Pre-v3 artifacts carry no gomaxprocs — that dimension is skipped.
+	if why := a.HostMismatch(&Bench{HostCPUs: 4}); why != "" {
+		t.Errorf("legacy artifact without gomaxprocs flagged: %q", why)
 	}
 }
 

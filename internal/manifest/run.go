@@ -88,7 +88,7 @@ func (rn *Runner) Run(entries []Entry) (*Report, error) {
 
 	bench := Bench{
 		Schema: BenchSchema, Stamp: rn.Stamp, Scale: rn.Scale,
-		Go: goVersion(), HostCPUs: hostCPUs(),
+		Go: goVersion(), HostCPUs: hostCPUs(), GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for i, e := range entries {
 		spec := Lookup(e.Experiment)

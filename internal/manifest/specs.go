@@ -1,4 +1,4 @@
-// The nine experiment specs: the registry entries cmd/repro's subcommand
+// The ten experiment specs: the registry entries cmd/repro's subcommand
 // dispatch, `repro all`, and the manifest Runner all execute through. Each
 // spec's Run converts the uniform Params bag into the experiment package's
 // entrypoint call and wraps the rows in their Rendering.
@@ -199,6 +199,22 @@ func init() {
 			}
 			rows := experiments.Resilience(o, p.Tree, p.SeqDepth)
 			return experiments.ResilienceOut(rows), nil
+		},
+	})
+	Register(Spec{
+		// enginebench measures the simulator itself: sharded-engine event
+		// throughput under the adaptive and lock-step window policies. Its
+		// rows are deterministic (events/rounds/routed); wall-clock figures
+		// reach the BENCH artifact through Summary. The cell grid carries
+		// its own shard ladder, so the runner's -shards knob is ignored.
+		Name:   "enginebench",
+		Golden: []string{"enginebench_itoa.tsv"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.EngineBenchOut(experiments.EngineBench(o)), nil
 		},
 	})
 	Register(Spec{

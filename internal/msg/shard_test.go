@@ -1,0 +1,103 @@
+package msg
+
+import (
+	"testing"
+
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+// TestCrossShardConservationUnderDrops is the accounting audit of
+// ShardStats.Inbound/CrossShard under drop-heavy fault injection. Two
+// properties must hold on a multi-heap engine:
+//
+//  1. A cross-shard message increments Inbound exactly once — on the final,
+//     successful delivery — no matter how many dropped attempts and
+//     retransmissions preceded it. The retransmit timer is a sender-shard
+//     event (ack timeout recovery runs on the sender's node), so re-files
+//     never double-count, and a same-shard message never counts at all.
+//  2. Conservation: the Inbound delta across the run equals the number of
+//     messages whose sender and receiver nodes live on different shards —
+//     sum(Inbound) == total routed deliveries, with drops and jitter on.
+func TestCrossShardConservationUnderDrops(t *testing.T) {
+	const (
+		shards  = 4
+		ranks   = 8
+		perRank = 100 // messages per sender; even, split across two dests
+	)
+	eng := sim.NewEngineShards(shards)
+	defer eng.Shutdown()
+	m := topo.Uniform(5 * sim.Microsecond) // one core per node: rank == node
+	m.Perturb = &topo.Perturb{Seed: 17, DropProb: 0.4, LatencyJitter: 0.5}
+	n := New(eng, m, ranks)
+
+	// Rank r alternates between two destinations: (r+1)%ranks always lands
+	// on a different shard (shard stride 1 mod 4), (r+4)%ranks always lands
+	// on the same shard (stride 4 ≡ 0 mod 4) while still crossing nodes.
+	// Only the former may contribute to CrossShard.
+	for r := 0; r < ranks; r++ {
+		r := r
+		eng.GoIDOn(r%shards, "send", int64(r), func(p *sim.Proc) {
+			for i := 0; i < perRank; i++ {
+				dst := (r + 1) % ranks
+				if i%2 == 1 {
+					dst = (r + 4) % ranks
+				}
+				n.Send(p, r, dst, Msg{Kind: 1, A: int64(r), B: int64(i)})
+			}
+		})
+		eng.GoIDOn(r%shards, "recv", int64(r), func(p *sim.Proc) {
+			// Every rank is the stride-1 dest of one sender and the
+			// stride-4 dest of another, perRank/2 messages each.
+			for got := 0; got < perRank; {
+				if _, ok := n.Poll(p, r); ok {
+					got++
+				} else {
+					p.Sleep(sim.Microsecond)
+				}
+			}
+		})
+	}
+
+	// Setup-time spawns onto shards 1..3 are themselves cross-shard events
+	// (the spawning context is shard 0); the message-layer claim is about
+	// the delta across the run.
+	base := eng.CrossShard()
+	eng.Run(sim.Forever)
+
+	tot := n.TotalStats()
+	if want := uint64(ranks * perRank); tot.Sent != want || tot.Received != want {
+		t.Fatalf("sent %d received %d, want %d each (lost or duplicated deliveries)", tot.Sent, tot.Received, want)
+	}
+	if tot.Dropped == 0 {
+		t.Fatal("no drops at p=0.4 over 800 sends — fault injection inert")
+	}
+	if tot.Dropped != tot.Retransmits {
+		t.Errorf("drops (%d) != retransmits (%d): a lost attempt leaked", tot.Dropped, tot.Retransmits)
+	}
+
+	const wantCross = uint64(ranks * perRank / 2) // the stride-1 half
+	gotCross := eng.CrossShard() - base
+	if gotCross != wantCross {
+		t.Errorf("cross-shard Inbound delta = %d, want %d: retransmit re-files double-counted or deliveries misrouted (dropped %d times)",
+			gotCross, wantCross, tot.Dropped)
+	}
+
+	// The same total through the per-shard view, and every shard saw its
+	// share: each shard hosts two ranks, each receiving perRank/2 routed
+	// messages.
+	var sum uint64
+	for i, st := range eng.ShardStats() {
+		inb := st.Inbound
+		sum += inb
+		if i != 0 {
+			inb -= 4 // setup-time spawns: 2 ranks x (sender + receiver)
+		}
+		if want := uint64(2 * perRank / 2); inb != want {
+			t.Errorf("shard %d Inbound = %d (minus spawns), want %d", i, inb, want)
+		}
+	}
+	if sum != eng.CrossShard() {
+		t.Errorf("sum(Inbound) = %d, CrossShard() = %d", sum, eng.CrossShard())
+	}
+}

@@ -73,9 +73,10 @@
 // deterministically at dispatch — byte-identical to the serial engine by
 // construction, with per-shard traffic counters (ShardStats) exposing the
 // cross-node event flow. Sharded (see sharded.go) runs n engines on their
-// own goroutines in conservative lock-step windows of one cross-node
-// lookahead, for shard-confined programs whose only cross-shard interaction
-// is RouteAfter; lineage keys make its results byte-identical to the serial
+// own goroutines in conservative barrier rounds — adaptive per-shard-pair
+// lookahead horizons by default, a single lock-step window behind a flag —
+// for shard-confined programs whose only cross-shard interaction is
+// RouteAfter; lineage keys make its results byte-identical to the serial
 // engine as well.
 //
 // # Failure propagation
@@ -92,6 +93,7 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 )
 
 // Time is a virtual timestamp or duration in nanoseconds. The simulation
@@ -255,10 +257,12 @@ type Engine struct {
 	// carries a lineage key encoding its serial scheduling instant, and
 	// heaps order same-time events by key instead of seq. rootSeq is shared
 	// across a shard group so setup-time keys are globally ordered.
-	keyed   bool
-	rootSeq *uint64
-	curKey  *knode // key of the event being dispatched (nil outside Run)
-	curIdx  uint64 // schedule-call index within the current dispatch
+	keyed    bool
+	rootSeq  *uint64
+	curKey   *knode // key of the event being dispatched (nil outside Run)
+	curIdx   uint64 // schedule-call index within the current dispatch
+	keyPool  *knode // intrusive free list of recycled lineage nodes (parent = link)
+	keyPoolN int
 }
 
 // NewEngine returns an empty engine with the clock at 0 and a single event
@@ -348,16 +352,19 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // Pass nil to disable.
 func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
 
-// nextKey allocates the lineage key of the event being scheduled: a child
-// of the current dispatch's key, or (outside any dispatch) a root keyed by
-// the group-wide setup counter. Called only in keyed engines.
+// nextKey builds the lineage key of the event being scheduled: a child of
+// the current dispatch's key, or (outside any dispatch) a root keyed by the
+// group-wide setup counter. Nodes come from the engine's free list (see
+// newKnode/releaseKey in sharded.go); a child pins its parent with one
+// reference. Called only in keyed engines.
 func (e *Engine) nextKey() *knode {
 	if e.curKey != nil {
-		k := &knode{t: e.now, parent: e.curKey, idx: e.curIdx}
+		k := e.newKnode(e.now, e.curKey, e.curIdx)
 		e.curIdx++
+		atomic.AddInt32(&e.curKey.refs, 1)
 		return k
 	}
-	k := &knode{t: e.now, idx: *e.rootSeq}
+	k := e.newKnode(e.now, nil, *e.rootSeq)
 	*e.rootSeq++
 	return k
 }
@@ -581,6 +588,10 @@ func (e *Engine) Run(until Time) Time {
 		} else if p := ev.p; p != nil {
 			if p.state == StateDead {
 				// A killed proc can leave a stale event behind.
+				if ev.key != nil {
+					e.curKey = nil
+					e.releaseKey(ev.key)
+				}
 				continue
 			}
 			if e.trace != nil {
@@ -589,6 +600,13 @@ func (e *Engine) Run(until Time) Time {
 			e.stats.Events++
 			e.sstats[best].Events++
 			e.runProc(p)
+		}
+		if ev.key != nil {
+			// The dispatched event's reference on its lineage key: children
+			// scheduled during the dispatch hold their own, so releasing here
+			// recycles exactly the nodes no live event can reach.
+			e.curKey = nil
+			e.releaseKey(ev.key)
 		}
 	}
 	e.curKey = nil
@@ -647,6 +665,8 @@ func (e *Engine) Shutdown() {
 	}
 	e.chains = nil
 	e.ready = nil
+	e.keyPool = nil
+	e.keyPoolN = 0
 }
 
 // Proc is a simulated process: a goroutine whose execution is interleaved

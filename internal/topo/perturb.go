@@ -76,12 +76,40 @@ func (pb *Perturb) String() string {
 	return strings.Join(parts, ",")
 }
 
+// validate rejects knob magnitudes outside their sound ranges. The factor
+// knobs and jitter must never be able to shrink a delay below the
+// unperturbed base: OpDelay clamps to the base as a second line of defence
+// (the MinCrossNodeLatency/MinLatency lookahead bounds depend on it), but a
+// spec that would only "work" because of the clamp is almost certainly a
+// typo, so it is refused up front. drop must stay below 1 or no message
+// ever delivers and the retransmit loop runs forever.
+func (pb *Perturb) validate() error {
+	switch {
+	case pb.LatencyJitter < 0:
+		return fmt.Errorf("perturb: jitter %v is negative; jitter stretches delays by a factor in [1, 1+jitter)", pb.LatencyJitter)
+	case pb.StragglerFrac < 0 || pb.StragglerFrac > 1:
+		return fmt.Errorf("perturb: straggler %v is not a probability in [0,1]", pb.StragglerFrac)
+	case pb.StragglerFactor < 1:
+		return fmt.Errorf("perturb: sfactor %v would speed stragglers up; must be >= 1", pb.StragglerFactor)
+	case pb.DegradedLinkFrac < 0 || pb.DegradedLinkFrac > 1:
+		return fmt.Errorf("perturb: degraded %v is not a probability in [0,1]", pb.DegradedLinkFrac)
+	case pb.DegradedFactor < 1:
+		return fmt.Errorf("perturb: dfactor %v would undercut the cross-node latency lower bound; must be >= 1", pb.DegradedFactor)
+	case pb.DropProb < 0 || pb.DropProb >= 1:
+		return fmt.Errorf("perturb: drop %v is not a probability in [0,1)", pb.DropProb)
+	}
+	return nil
+}
+
 // ParsePerturb parses a comma-separated key=value spec, e.g.
 //
 //	"jitter=0.5,straggler=0.25,sfactor=3,drop=0.01,seed=1"
 //
 // Keys: jitter, straggler, sfactor (default 3), degraded, dfactor
 // (default 4), drop, seed (default 1). An empty spec returns nil.
+// Magnitudes are validated: fractions must be probabilities, factors must
+// be >= 1 and jitter >= 0, so that no accepted spec can push a delay below
+// the unperturbed cost model's lower bounds.
 func ParsePerturb(spec string) (*Perturb, error) {
 	if spec == "" {
 		return nil, nil
@@ -120,6 +148,9 @@ func ParsePerturb(spec string) (*Perturb, error) {
 		default:
 			return nil, fmt.Errorf("perturb: unknown key %q", k)
 		}
+	}
+	if err := pb.validate(); err != nil {
+		return nil, err
 	}
 	return pb, nil
 }

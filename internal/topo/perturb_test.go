@@ -194,3 +194,40 @@ func TestParsePerturb(t *testing.T) {
 		}
 	}
 }
+
+// TestParsePerturbRejectsUnsoundMagnitudes pins the spec validation: any
+// knob value that could (absent the OpDelay clamp) shrink a delay below
+// the unperturbed base, or that is not a probability where one is
+// expected, must be refused at parse time rather than silently relied on
+// to be clamped later.
+func TestParsePerturbRejectsUnsoundMagnitudes(t *testing.T) {
+	bad := []string{
+		"jitter=-0.5,seed=1",             // negative jitter would compress delays
+		"straggler=1.5,seed=1",           // not a probability
+		"straggler=-0.1,seed=1",          //
+		"straggler=0.5,sfactor=0.5",      // would speed stragglers up
+		"degraded=2,seed=1",              // not a probability
+		"degraded=0.5,dfactor=0.5",       // would undercut the latency lower bound
+		"degraded=0.5,dfactor=-3,seed=2", //
+		"drop=1,seed=1",                  // nothing ever delivers: retransmit forever
+		"drop=1.5,seed=1",                //
+		"drop=-0.01,seed=1",              //
+	}
+	for _, spec := range bad {
+		if pb, err := ParsePerturb(spec); err == nil {
+			t.Errorf("ParsePerturb(%q) accepted unsound spec: %+v", spec, pb)
+		}
+	}
+	// Boundary values that are sound must keep parsing.
+	good := []string{
+		"jitter=0,seed=1",
+		"straggler=1,sfactor=1",
+		"degraded=1,dfactor=1",
+		"drop=0.99,seed=1",
+	}
+	for _, spec := range good {
+		if _, err := ParsePerturb(spec); err != nil {
+			t.Errorf("ParsePerturb(%q): %v", spec, err)
+		}
+	}
+}

@@ -15,7 +15,11 @@
 // WISTERIA-O-like) match Table II of the paper; see DESIGN.md §4.
 package topo
 
-import "contsteal/internal/sim"
+import (
+	"fmt"
+
+	"contsteal/internal/sim"
+)
 
 // Machine describes a simulated cluster: its node topology and the cost of
 // every primitive operation the runtime performs on it.
@@ -148,6 +152,53 @@ func (m *Machine) MinCrossNodeLatency() sim.Time { return m.InterLatency }
 
 // SameNode reports whether two ranks share a node.
 func (m *Machine) SameNode(a, b int) bool { return m.NodeOf(a) == m.NodeOf(b) }
+
+// MinLatency returns a lower bound on the virtual-time delay of any
+// one-sided operation from rank `from` to rank `to` — the rank-pair
+// refinement of MinCrossNodeLatency. The size term is non-negative, the
+// atomic surcharge only adds, and OpDelay clamps every perturbed delay to
+// at least the unperturbed base, so the bound holds on every op-issue path
+// and is a sound per-pair lookahead for a rank-sharded execution.
+func (m *Machine) MinLatency(from, to int) sim.Time {
+	if m.SameNode(from, to) {
+		return m.IntraLatency
+	}
+	return m.InterLatency
+}
+
+// PairLookahead builds the per-pair lookahead matrix of a sim.Sharded
+// execution that partitions `ranks` worker ranks into `shards` contiguous
+// blocks (rank r lives on shard r*shards/ranks). Entry [src][dst] is the
+// minimum MinLatency over the rank pairs spanning that directed shard pair:
+// the tightest delay any src-shard rank can impose on a dst-shard rank.
+// When a shard boundary splits a node the two neighbouring shards see only
+// the IntraLatency bound, while shard pairs with no co-located ranks keep
+// the full InterLatency window — the heterogeneity adaptive windowing
+// exploits. The diagonal is left zero: same-shard causality is ordered by
+// the shard's own heap, and sim.Sharded rejects self pairs.
+// Panics unless 1 <= shards <= ranks.
+func (m *Machine) PairLookahead(ranks, shards int) [][]sim.Time {
+	if shards < 1 || shards > ranks {
+		panic(fmt.Sprintf("topo: PairLookahead(ranks=%d, shards=%d): need 1 <= shards <= ranks", ranks, shards))
+	}
+	shardOf := func(r int) int { return r * shards / ranks }
+	look := make([][]sim.Time, shards)
+	for i := range look {
+		look[i] = make([]sim.Time, shards)
+	}
+	for a := 0; a < ranks; a++ {
+		for b := 0; b < ranks; b++ {
+			src, dst := shardOf(a), shardOf(b)
+			if src == dst {
+				continue
+			}
+			if d := m.MinLatency(a, b); look[src][dst] == 0 || d < look[src][dst] {
+				look[src][dst] = d
+			}
+		}
+	}
+	return look
+}
 
 // OneSided returns the simulated duration of a one-sided put/get of size
 // bytes from rank `from` to rank `to`. atomic selects the atomic-op surcharge.
