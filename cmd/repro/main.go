@@ -19,6 +19,11 @@
 //	             (host-side sharded-engine throughput: adaptive vs lock-step
 //	              windows over a shard ladder; wall-clock figures surface in
 //	              the BENCH artifact, the tables stay deterministic)
+//	repro stealzoo [-shape wavefront|stencil] [-n N] [-machine ...] [-workers N]
+//	             (steal-policy zoo: uniform/hier/locality × steal-one/half
+//	              victim policies on a seeded task-graph workload, across
+//	              perturbation scenarios; every row's checksum must match the
+//	              single-threaded oracle)
 //	repro all    (runs the manifest's paper grid, honoring explicit flags)
 //	repro run    [-scale smoke|paper] [-only fig6,serve] [-out paper_runs]
 //	             [-stamp NAME] [-manifest FILE] [-goldens DIR]
@@ -33,6 +38,12 @@
 // overrides the spec's defaults everywhere — including `repro fig9 -machine
 // itoa` and `repro all -tree T1XXL`, which earlier versions silently
 // discarded.
+//
+// -steal-policy NAME overlays a work-stealing policy (victim selection ×
+// steal amount: uniform, hier, locality, each optionally -half; see
+// internal/core.ParseStealPolicy) on every experiment's fork-join runtimes.
+// The default empty policy is byte-identical to the paper's uniform random
+// steal-one — all committed goldens are produced under it.
 //
 // `repro run` executes the committed experiments.json manifest at a named
 // scale into a timestamped paper_runs/<stamp>/ folder (tables, TSV series,
@@ -129,7 +140,7 @@ type section struct {
 }
 
 func usageErr() error {
-	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|enginebench|serve|all|run|validate|analyze} [flags]")
+	return fmt.Errorf("usage: repro {fig6|table2|fig7|fig8|fig9|table3|fig12|resilience|enginebench|stealzoo|serve|all|run|validate|analyze} [flags]")
 }
 
 // run executes one repro invocation against the given writers. All tables
@@ -184,6 +195,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	admits := fs.String("admits", "", "serve: comma-separated admission policies (always,token)")
 	horizonUs := fs.Float64("horizon-us", 0, "serve: cut every cell at this virtual time (µs; 0 = drain)")
 	noReqTrace := fs.Bool("no-req-trace", false, "serve: skip request tracing and tail attribution (sojourn/goodput output is byte-identical either way)")
+	stealPolicy := fs.String("steal-policy", "", "steal policy for every core runtime: uniform, hier, locality, or their -half variants (\"\" = paper's uniform steal-one; stealzoo sweeps all and ignores this)")
+	shape := fs.String("shape", "wavefront", "stealzoo: dag workload shape (wavefront or stencil)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -284,6 +297,10 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			fp.HorizonUs = *horizonUs
 		case "no-req-trace":
 			fp.NoReqTrace = *noReqTrace
+		case "steal-policy":
+			fp.Policy = *stealPolicy
+		case "shape":
+			fp.Shape = *shape
 		}
 	})
 

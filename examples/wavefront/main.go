@@ -11,6 +11,11 @@
 // recursive decomposition is where migration at joins becomes decisive
 // (Table III of the paper).
 //
+// This pattern is promoted to a first-class experiment workload in
+// internal/workload/dag.go (seeded wavefront/stencil DAGs with a
+// single-threaded topological oracle), swept across steal policies by
+// `repro stealzoo`.
+//
 // Run with: go run ./examples/wavefront
 package main
 

@@ -113,6 +113,13 @@ type Config struct {
 	// 0 selects the paper's policy: uniform over all workers.
 	IntraNodeStealProb float64
 
+	// Steal selects the victim-selection and steal-amount policy (see
+	// StealPolicy). The zero value is the paper's policy — uniform random
+	// victims, steal-one — and reproduces the pre-seam runtime byte for
+	// byte: identical RNG consumption, identical protocol ops, identical
+	// metric and trace output.
+	Steal StealPolicy
+
 	// StackScheme selects how thread-stack virtual addresses are managed:
 	// the uni-address scheme of Akiyama and Taura (default) or the
 	// iso-address scheme of PM2/Charm++ for comparison (§II-D).
@@ -308,11 +315,17 @@ func New(cfg Config) *Runtime {
 	rt.workers = make([]*Worker, cfg.Workers)
 	for r := 0; r < cfg.Workers; r++ {
 		w := &Worker{
-			rt:   rt,
-			rank: r,
-			dq:   deque.New(fab, r, cfg.DequeCap, entrySize),
-			ua:   uniaddr.New(fab, r, cfg.UniRegionBytes, cfg.EvacRegionBytes),
-			rng:  rand.New(rand.NewSource(cfg.Seed + int64(r)*0x9E3779B9)),
+			rt:         rt,
+			rank:       r,
+			dq:         deque.New(fab, r, cfg.DequeCap, entrySize),
+			ua:         uniaddr.New(fab, r, cfg.UniRegionBytes, cfg.EvacRegionBytes),
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(r)*0x9E3779B9)),
+			lastVictim: -1,
+		}
+		if cfg.Steal.Amount == StealHalf {
+			// Thieves will run the multi-entry StealN protocol, which needs
+			// owner pops serialized against in-flight batch claims.
+			w.dq.Batch = true
 		}
 		if rt.tr != nil {
 			w.dq.Tr = rt.tr.tr
@@ -440,6 +453,19 @@ func (rt *Runtime) collectObs(rs *RunStats) {
 	// output stays byte-identical to pre-perturbation runs.
 	if rs.Fabric.PerturbTime > 0 {
 		m.Counter("perturb.extra.ns").Add(uint64(rs.Fabric.PerturbTime))
+	}
+	// Steal-policy counters, registered only under a non-default policy so
+	// default (uniform, steal-one) metric output stays byte-identical to
+	// pre-seam runs.
+	if !rt.cfg.Steal.Default() {
+		var batches, entries uint64
+		for _, w := range rt.workers {
+			batches += w.dq.St.BatchSteals
+			entries += w.dq.St.BatchEntries
+		}
+		m.Counter("steal.batch.ops").Add(batches)
+		m.Counter("steal.batch.entries").Add(entries)
+		m.Counter("steal.surplus.requeued").Add(rs.Work.SurplusStolen)
 	}
 	// Admission/conservation counters, registered only in serve mode for the
 	// same reason. serve.admitted == serve.completed + serve.inflight on

@@ -116,10 +116,14 @@ func (rt *Runtime) dieGreedy(c *Ctx, ret []byte) {
 	t.releaseStack()
 	t.state = tDead
 
-	// Work-first fast path (lines 28-31): try to pop the parent.
+	// Work-first fast path (lines 28-31): try to pop the parent. The
+	// popped.w == w check guards the handoff's no-migration assumption:
+	// under steal-half a requeued surplus continuation in our own deque may
+	// still have its stack at the original victim, and must go through the
+	// normal resume path (bringTo) instead.
 	if entry, obj, ok := w.dq.Pop(p); ok {
 		popped, isThread := obj.(*Thread)
-		if isThread && entryKind(entry) == entCont && popped.id == t.parentID {
+		if isThread && entryKind(entry) == entCont && popped.id == t.parentID && popped.w == w {
 			// The parent has not been stolen: the join is guaranteed to
 			// happen after this die, so a plain (non-atomic) put suffices.
 			rt.fab.PutInt64(p, w.rank, flagWord(h.E), 1) // line 30
@@ -212,7 +216,15 @@ func (rt *Runtime) dieStalling(c *Ctx, ret []byte) {
 	t.state = tDead
 	if entry, obj, ok := w.dq.Pop(p); ok { // line 7
 		_ = entry
-		w.handoff(obj.(*Thread)) // line 9: resume nextThread.context
+		next := obj.(*Thread)
+		if next.w != w {
+			// Requeued steal-half surplus: stack still at the original
+			// victim; migrate it in before running (never hit by the
+			// default steal-one policy, where own-deque stacks are local).
+			w.resume(p, next)
+			return
+		}
+		w.handoff(next) // line 9: resume nextThread.context
 		return
 	}
 	w.toScheduler() // line 11
@@ -314,7 +326,9 @@ func (rt *Runtime) dieFutureGreedy(c *Ctx, ret []byte) {
 	rt.joinCompleted(h.E)
 	if len(waiters) == 0 {
 		if entry, obj, ok := w.dq.Pop(p); ok {
-			if th, isThread := obj.(*Thread); isThread && entryKind(entry) == entCont && th.id == t.parentID {
+			// th.w == w: see dieGreedy — requeued steal-half surplus must
+			// not be handed off without migration.
+			if th, isThread := obj.(*Thread); isThread && entryKind(entry) == entCont && th.id == t.parentID && th.w == w {
 				w.handoff(th)
 				return
 			} else {

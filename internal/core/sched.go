@@ -26,6 +26,13 @@ const (
 // collectEvery is how many failed steals pass between lock-queue drains.
 const collectEvery = 64
 
+// hierEscalateAfter is how many consecutive failed steals the hierarchical
+// victim policy tolerates before escalating from intra-node probes to
+// uniform probes over the whole cluster. Reuses failStreak (reset on every
+// success), so a worker oscillates naturally: cheap local probes while the
+// node has work, cluster-wide probes while it is drained.
+const hierEscalateAfter = 2
+
 // idleDelay returns the duration of one idle-loop sleep: the fixed
 // idleBackoff, or the bounded exponential backoff when enabled.
 func (w *Worker) idleDelay() sim.Time {
@@ -91,17 +98,23 @@ func (w *Worker) schedule(p *sim.Proc) {
 		}
 		// 2. Random steal (skipped on a single worker).
 		if victim := w.pickVictim(); victim != nil {
-			start := p.Now()
-			entry, obj, ok := victim.dq.Steal(p, w.rank)
-			chain := p.Now() - start
-			if ok {
-				if w.ob != nil {
-					w.ob.chainSteal.Observe(chain)
+			if w.rt.cfg.Steal.Amount == StealHalf {
+				if w.stealHalfFrom(p, victim) {
+					continue
 				}
-				w.dispatchStolen(p, victim, entry, obj, start)
-				continue
+			} else {
+				start := p.Now()
+				entry, obj, ok := victim.dq.Steal(p, w.rank)
+				chain := p.Now() - start
+				if ok {
+					if w.ob != nil {
+						w.ob.chainSteal.Observe(chain)
+					}
+					w.dispatchStolen(p, victim, entry, obj, start)
+					continue
+				}
+				w.stealFailed(victim, start, chain)
 			}
-			w.stealFailed(victim, start, chain)
 		}
 		// 3. Wait-queue round robin on failed steals.
 		if len(w.waitQ) > 0 {
@@ -154,14 +167,22 @@ func (w *Worker) startRoot(p *sim.Proc) {
 	p.Park()
 }
 
-// pickVictim selects a steal victim: uniformly at random among the other
-// workers (the paper's policy), or — when IntraNodeStealProb is set —
-// preferring the worker's own node with that probability (topology-aware
-// stealing). Returns nil when there is no one to steal from.
+// pickVictim selects a steal victim according to Config.Steal.Victim.
+// Returns nil when there is no one to steal from. The default (uniform)
+// branch is the paper's policy and consumes exactly the RNG draws of the
+// pre-seam runtime: uniformly random among the other workers, or — when
+// IntraNodeStealProb is set — preferring the worker's own node with that
+// probability (topology-aware stealing).
 func (w *Worker) pickVictim() *Worker {
 	n := len(w.rt.workers)
 	if n < 2 {
 		return nil
+	}
+	switch w.rt.cfg.Steal.Victim {
+	case VictimHier:
+		return w.pickVictimHier(n)
+	case VictimLocality:
+		return w.pickVictimLocality(n)
 	}
 	mach := w.rt.cfg.Machine
 	if pr := w.rt.cfg.IntraNodeStealProb; pr > 0 && mach.CoresPerNode > 1 {
@@ -179,11 +200,53 @@ func (w *Worker) pickVictim() *Worker {
 			return w.rt.workers[v]
 		}
 	}
+	return w.uniformVictim(n)
+}
+
+// uniformVictim draws a victim uniformly among the other n-1 workers — the
+// shared fallback of every victim policy, and the whole of the default one.
+func (w *Worker) uniformVictim(n int) *Worker {
 	v := w.rng.Intn(n - 1)
 	if v >= w.rank {
 		v++
 	}
 	return w.rt.workers[v]
+}
+
+// pickVictimHier implements intra-node-first hierarchical stealing: while
+// the failed-steal streak is below hierEscalateAfter, probe a random rank of
+// this worker's own node (intra-node protocol ops are cheap); once the node
+// looks drained, escalate to a uniform probe over the cluster.
+func (w *Worker) pickVictimHier(n int) *Worker {
+	mach := w.rt.cfg.Machine
+	if mach.CoresPerNode > 1 && w.failStreak < hierEscalateAfter {
+		node := mach.NodeOf(w.rank)
+		lo := node * mach.CoresPerNode
+		hi := lo + mach.CoresPerNode
+		if hi > n {
+			hi = n
+		}
+		if hi-lo > 1 {
+			v := lo + w.rng.Intn(hi-lo-1)
+			if v >= w.rank {
+				v++
+			}
+			return w.rt.workers[v]
+		}
+	}
+	return w.uniformVictim(n)
+}
+
+// pickVictimLocality implements owner-aware stealing: re-probe the rank of
+// the last successful steal (tasks spawned there keep their uni-address
+// stacks and descendants there, so re-stealing from it moves related work
+// together). Falls back to uniform when no affinity is live; stealFailed
+// drops the affinity when the probe comes back empty.
+func (w *Worker) pickVictimLocality(n int) *Worker {
+	if v := w.lastVictim; v >= 0 && v < n && v != w.rank {
+		return w.rt.workers[v]
+	}
+	return w.uniformVictim(n)
 }
 
 // dispatchLocal runs a descriptor popped from the worker's own deque.
@@ -232,10 +295,48 @@ func (w *Worker) dispatchStolen(p *sim.Proc, victim *Worker, entry []byte, obj a
 	}
 }
 
+// stealHalfFrom runs the multi-entry StealN protocol against victim, taking
+// half of the entries observed under the deque lock (stealHalf). The oldest
+// entry is dispatched exactly as a steal-one would be; the surplus is
+// requeued into this worker's own deque in protocol (oldest-first) order, so
+// later thieves still see the oldest work first while the owner pops the
+// newest — and stolen continuation stacks migrate lazily on first resume via
+// the stolen-in-deque case of bringTo (uni-address frees by exact address,
+// so out-of-order release is safe). The chain window is measured before the
+// requeue pushes, keeping it comparable to the steal-one chain; the steal
+// span (stealSucceeded) still covers the full window including the requeue,
+// so Σ steal spans == Work.StealLatency holds under every policy. Returns
+// false (after booking the failure) when the victim was empty or contended.
+func (w *Worker) stealHalfFrom(p *sim.Proc, victim *Worker) bool {
+	start := p.Now()
+	entries, objs, ok := victim.dq.StealN(p, w.rank, stealHalf)
+	chain := p.Now() - start
+	if !ok {
+		w.stealFailed(victim, start, chain)
+		return false
+	}
+	if w.ob != nil {
+		w.ob.chainSteal.Observe(chain)
+	}
+	for i := 1; i < len(entries); i++ {
+		w.dq.Push(p, entries[i], objs[i])
+		w.st.SurplusStolen++
+	}
+	w.dispatchStolen(p, victim, entries[0], objs[0], start)
+	return true
+}
+
+// stealHalf is the StealN take function of the steal-half policy: half of
+// the entries available under the lock, rounded up (at least one).
+func stealHalf(avail int64) int64 { return (avail + 1) / 2 }
+
 // stealSucceeded books a successful steal over the same window the trace
 // span covers, so Σ steal span durations == Work.StealLatency exactly.
 func (w *Worker) stealSucceeded(task int64, victim int, start sim.Time, size, req int64) {
 	w.failStreak = 0
+	if w.rt.cfg.Steal.Victim == VictimLocality {
+		w.lastVictim = victim
+	}
 	lat := w.rt.eng.Now() - start
 	w.st.StealLatency += lat
 	if w.ob != nil {
@@ -249,6 +350,9 @@ func (w *Worker) stealSucceeded(task int64, victim int, start sim.Time, size, re
 // so Σ steal.fail durations == Work.StealSearchTime exactly.
 func (w *Worker) stealFailed(victim *Worker, start sim.Time, chain sim.Time) {
 	w.failStreak++
+	if w.rt.cfg.Steal.Victim == VictimLocality && victim.rank == w.lastVictim {
+		w.lastVictim = -1
+	}
 	w.st.StealsFail++
 	w.st.StealSearchTime += chain
 	if w.ob != nil {
@@ -321,6 +425,11 @@ func (w *Worker) tryRunOneRtC(p *sim.Proc) bool {
 	victim := w.pickVictim()
 	if victim == nil {
 		return false
+	}
+	if w.rt.cfg.Steal.Amount == StealHalf {
+		// dispatchStolen's entChild/ChildRtC case books the same stats as
+		// the inline path below and runs the task to completion.
+		return w.stealHalfFrom(p, victim)
 	}
 	start := p.Now()
 	_, obj, ok := victim.dq.Steal(p, w.rank)

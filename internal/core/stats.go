@@ -28,6 +28,10 @@ type WorkerStats struct {
 	Migrations      uint64   // threads that arrived at this worker
 	EntryAllocs     uint64
 	StackConflict   uint64 // restores that fell back due to address conflicts
+	// SurplusStolen counts entries acquired beyond the first by a StealN
+	// batch (steal-half policy) and requeued into the thief's own deque.
+	// Always 0 under the default steal-one policy.
+	SurplusStolen uint64
 }
 
 // JoinStats aggregates outstanding-join accounting across a run.
@@ -147,6 +151,7 @@ func (w *WorkerStats) add(o *WorkerStats) {
 	w.Migrations += o.Migrations
 	w.EntryAllocs += o.EntryAllocs
 	w.StackConflict += o.StackConflict
+	w.SurplusStolen += o.SurplusStolen
 }
 
 // joinInfo tracks one in-flight join for outstanding-join accounting. It is

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+)
+
+func TestParseStealPolicy(t *testing.T) {
+	for _, name := range StealPolicyNames() {
+		p, err := ParseStealPolicy(name)
+		if err != nil {
+			t.Fatalf("ParseStealPolicy(%q): %v", name, err)
+		}
+		if got := p.String(); got != name {
+			t.Errorf("ParseStealPolicy(%q).String() = %q", name, got)
+		}
+	}
+	p, err := ParseStealPolicy("")
+	if err != nil || !p.Default() {
+		t.Errorf(`ParseStealPolicy("") = %v, %v; want default policy`, p, err)
+	}
+	if !p.Default() || p.String() != "uniform" {
+		t.Errorf("zero policy = %v, want uniform", p)
+	}
+	for _, bad := range []string{"random", "half", "uniform-one", "hier-half-half"} {
+		if _, err := ParseStealPolicy(bad); err == nil {
+			t.Errorf("ParseStealPolicy(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFibAllStealPolicies runs the fib kernel on every runtime policy ×
+// steal policy and checks the result, plus the policy-specific stat
+// signatures: steal-half runs requeue surplus entries; steal-one never does.
+func TestFibAllStealPolicies(t *testing.T) {
+	want := fibSerial(13)
+	for _, pol := range allPolicies {
+		for _, name := range StealPolicyNames() {
+			sp, err := ParseStealPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig(pol, 7)
+			cfg.Steal = sp
+			rt := New(cfg)
+			ret, st := rt.Run(fibTask(13))
+			if got := RetInt64(ret); got != want {
+				t.Errorf("%v/%s: fib(13) = %d, want %d", pol, name, got, want)
+			}
+			if st.Work.StealsOK == 0 {
+				t.Errorf("%v/%s: no successful steals", pol, name)
+			}
+			if sp.Amount == StealOne && st.Work.SurplusStolen != 0 {
+				t.Errorf("%v/%s: steal-one requeued %d surplus entries", pol, name, st.Work.SurplusStolen)
+			}
+		}
+	}
+}
+
+// TestStealHalfTakesBatches checks that the steal-half policy actually
+// exercises the multi-entry protocol (BatchEntries > BatchSteals requires at
+// least one batch with k >= 2) on a deep recursion — continuation deques
+// grow with nesting depth, child-stealing deques with spawn width — and
+// that the surplus requeue accounting ties out: surplus == batch entries -
+// batch steals.
+func TestStealHalfTakesBatches(t *testing.T) {
+	for _, pol := range []Policy{ContGreedy, ChildFull, ChildRtC} {
+		cfg := testConfig(pol, 4)
+		cfg.Steal = StealPolicy{Amount: StealHalf}
+		rt := New(cfg)
+		ret, st := rt.Run(fibTask(16))
+		if got, want := RetInt64(ret), fibSerial(16); got != want {
+			t.Errorf("%v: fib(16) = %d, want %d", pol, got, want)
+		}
+		var batches, entries uint64
+		for _, w := range rt.workers {
+			batches += w.dq.St.BatchSteals
+			entries += w.dq.St.BatchEntries
+		}
+		if batches == 0 {
+			t.Errorf("%v: steal-half run performed no StealN batches", pol)
+		}
+		if entries <= batches {
+			t.Errorf("%v: no batch took more than one entry (batches=%d entries=%d)", pol, batches, entries)
+		}
+		if st.Work.SurplusStolen != entries-batches {
+			t.Errorf("%v: surplus %d != batch entries %d - batches %d", pol, st.Work.SurplusStolen, entries, batches)
+		}
+	}
+}
+
+// TestHierPolicyPrefersIntraNode checks the hierarchical policy's signature
+// on a multi-node machine: steals happen, and the run completes with the
+// same result as uniform.
+func TestHierPolicyPrefersIntraNode(t *testing.T) {
+	mach := topo.ITOA() // multi-node, multiple cores per node
+	for _, name := range []string{"hier", "locality", "hier-half", "locality-half"} {
+		sp, err := ParseStealPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Machine: mach, Workers: 2 * mach.CoresPerNode, Policy: ContGreedy,
+			Seed: 7, MaxTime: 30 * sim.Second, Steal: sp,
+		}
+		rt := New(cfg)
+		ret, st := rt.Run(fibTask(14))
+		if got, want := RetInt64(ret), fibSerial(14); got != want {
+			t.Errorf("%s: fib(14) = %d, want %d", name, got, want)
+		}
+		if st.Work.StealsOK == 0 {
+			t.Errorf("%s: no successful steals on %d workers", name, cfg.Workers)
+		}
+	}
+}
+
+// TestStealPolicyMetricsGated checks the obs contract: default policy emits
+// no steal.batch/surplus counters (byte-stability of pre-seam metric
+// output), non-default policies emit all three.
+func TestStealPolicyMetricsGated(t *testing.T) {
+	run := func(sp StealPolicy) *RunStats {
+		cfg := testConfig(ContGreedy, 4)
+		cfg.Metrics = true
+		cfg.Steal = sp
+		rt := New(cfg)
+		_, st := rt.Run(fibTask(12))
+		return &st
+	}
+	def := run(StealPolicy{})
+	for _, key := range []string{"steal.batch.ops", "steal.batch.entries", "steal.surplus.requeued"} {
+		if _, ok := def.Obs.LookupCounter(key); ok {
+			t.Errorf("default policy registered %q", key)
+		}
+	}
+	half := run(StealPolicy{Victim: VictimHier, Amount: StealHalf})
+	for _, key := range []string{"steal.batch.ops", "steal.batch.entries", "steal.surplus.requeued"} {
+		if _, ok := half.Obs.LookupCounter(key); !ok {
+			t.Errorf("hier-half policy missing counter %q", key)
+		}
+	}
+}

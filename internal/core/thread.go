@@ -103,8 +103,15 @@ type Worker struct {
 	curReq int64
 
 	// failStreak counts consecutive failed steals since the last success;
-	// it drives the idle exponential backoff when Config.StealBackoff is on.
+	// it drives the idle exponential backoff when Config.StealBackoff is on,
+	// and the intra-node→cluster escalation of the hierarchical victim
+	// policy.
 	failStreak int
+	// lastVictim is the rank of this worker's last successful steal victim
+	// (-1 when none), the affinity used by the locality victim policy: work
+	// spawned there tends to keep its data and descendants there. Cleared
+	// when a probe at that rank comes back empty.
+	lastVictim int
 	// lastCollectFails is the StealsFail value at the last periodic
 	// lock-queue drain, so an idle pass that did not add a new failed steal
 	// cannot re-fire the drain while the counter sits at a multiple of

@@ -46,10 +46,12 @@ const (
 // Stats counts deque events observed at one deque.
 type Stats struct {
 	Pushes, Pops     uint64
-	StealsOK         uint64 // successful steals from this deque
+	StealsOK         uint64 // successful steals from this deque (incl. StealN)
 	StealsEmpty      uint64 // failed: deque observed empty
 	StealsContended  uint64 // failed: lost the lock race
 	OwnerLockRetries uint64
+	BatchSteals      uint64 // successful StealN protocol runs
+	BatchEntries     uint64 // entries taken across all StealN runs
 }
 
 // Deque is one worker's task queue, resident in that worker's RDMA segment.
@@ -70,6 +72,17 @@ type Deque struct {
 	// read, top advance, unlock) plus one thief-side span covering the whole
 	// protocol on success, all sharing a correlation ID. Nil by default.
 	Tr obs.Tracer
+
+	// Batch must be set (before any concurrent use) when thieves will run
+	// the multi-entry StealN protocol against this deque. THE's lock only
+	// protects the top entry from the owner's lock-free fast-path Pop: a
+	// batch thief claims slots top..top+k-1, and the owner could pop down
+	// into that range from the bottom before the top+k advance lands. In
+	// batch mode the owner therefore takes the lock on every Pop (the
+	// split-queue model: the public region is lock-protected), serializing
+	// owner pops against in-flight batch steals. Off by default so the
+	// steal-one protocol keeps the paper's lock-free owner fast path.
+	Batch bool
 }
 
 // New creates a deque with the given capacity (entries) and entry size
@@ -183,6 +196,9 @@ func (d *Deque) PushTop(p *sim.Proc, entry []byte, obj any) {
 // THE, the owner optimistically decrements bottom and only takes the lock
 // when it may race with a thief on the last entry.
 func (d *Deque) Pop(p *sim.Proc) ([]byte, any, bool) {
+	if d.Batch {
+		return d.popLocked(p)
+	}
 	p.Sleep(d.mach.LocalOp)
 	b := d.bottom() - 1
 	d.setBot(b)
@@ -206,6 +222,23 @@ func (d *Deque) Pop(p *sim.Proc) ([]byte, any, bool) {
 		return entry, obj, true
 	}
 	entry, obj := d.take(b)
+	d.St.Pops++
+	return entry, obj, true
+}
+
+// popLocked is Pop under batch mode: every owner pop holds the lock, so a
+// StealN thief's claimed range can never be popped out from under it.
+func (d *Deque) popLocked(p *sim.Proc) ([]byte, any, bool) {
+	p.Sleep(d.mach.LocalOp)
+	d.ownerLock(p)
+	b := d.bottom() - 1
+	if d.top() > b {
+		d.ownerUnlock()
+		return nil, nil, false
+	}
+	d.setBot(b)
+	entry, obj := d.take(b)
+	d.ownerUnlock()
 	d.St.Pops++
 	return entry, obj, true
 }
@@ -335,6 +368,148 @@ func (d *Deque) Steal(p *sim.Proc, thiefRank int) ([]byte, any, bool) {
 	})
 	c.Wait()
 	return entry, obj, ok
+}
+
+// StealN removes and returns up to take(available) entries from the top on
+// behalf of a remote thief — the multi-entry generalization of Steal for
+// steal-half-style policies. The protocol is the same timed completion chain
+// as Steal's, with the single entry read widened to k consecutive gets:
+//
+//	fast empty check:  get (top, bottom)             1 op
+//	lock:              CAS(lock, 0, 1)               1 op
+//	recheck:           get (top, bottom)             1 op
+//	read:              get entry × k                 k ops
+//	advance + unlock:  put top+k, put lock=0         2 ops
+//
+// take is called once, under the lock, with the rechecked entry count; its
+// result is clamped to [1, available]. Entries come back oldest-first (slot
+// order top..top+k-1). With take ≡ 1 the chain is op-for-op identical to
+// Steal. Failure reporting matches Steal (StealsEmpty/StealsContended); a
+// success counts once in StealsOK and once in BatchSteals, with k added to
+// BatchEntries.
+func (d *Deque) StealN(p *sim.Proc, thiefRank int, take func(avail int64) int64) ([][]byte, []any, bool) {
+	fab := d.fab
+	c := fab.Eng.NewChain(p)
+	hdrLoc := d.loc(offTop, 16)
+	lockLoc := d.loc(offLock, 8)
+	var (
+		hdr     [16]byte
+		entries [][]byte
+		objs    []any
+		ok      bool
+	)
+	tr := d.Tr
+	var (
+		sid   int64
+		t0    sim.Time
+		phase func(k obs.Kind)
+	)
+	if tr != nil {
+		sid = tr.Seq()
+		t0 = fab.Eng.Now()
+		ph := t0
+		phase = func(k obs.Kind) {
+			now := fab.Eng.Now()
+			tr.Event(obs.Event{T: ph, Dur: now - ph, Rank: d.rank, Kind: k, Task: -1, Peer: thiefRank, ID: sid})
+			ph = now
+		}
+	}
+	fab.GetAsync(c, thiefRank, hdrLoc, hdr[:], func() {
+		if phase != nil {
+			phase(obs.KindDequeHdr)
+		}
+		t := int64(le(hdr[0:8]))
+		b := int64(le(hdr[8:16]))
+		if t >= b {
+			d.St.StealsEmpty++
+			c.Complete()
+			return
+		}
+		fab.CASAsync(c, thiefRank, lockLoc, 0, 1, func(observed int64) {
+			if phase != nil {
+				phase(obs.KindDequeCAS)
+			}
+			if observed != 0 {
+				d.St.StealsContended++
+				c.Complete()
+				return
+			}
+			fab.GetAsync(c, thiefRank, hdrLoc, hdr[:], func() {
+				if phase != nil {
+					phase(obs.KindDequeRecheck)
+				}
+				t = int64(le(hdr[0:8]))
+				b = int64(le(hdr[8:16]))
+				if t >= b {
+					fab.PutInt64Async(c, thiefRank, lockLoc, 0, func() {
+						if phase != nil {
+							phase(obs.KindDequeUnlock)
+						}
+						d.St.StealsEmpty++
+						c.Complete()
+					})
+					return
+				}
+				k := take(b - t)
+				if k < 1 {
+					k = 1
+				}
+				if k > b-t {
+					k = b - t
+				}
+				entries = make([][]byte, k)
+				// Read the k oldest descriptors, oldest-first, as one get per
+				// entry (the real protocol could coalesce contiguous slots,
+				// but the ring may wrap and per-entry gets keep the timing
+				// model honest about the widened read phase).
+				var readNext func(i int64)
+				readNext = func(i int64) {
+					if i == k {
+						// Advance top past the batch, then unlock.
+						fab.PutInt64Async(c, thiefRank, d.loc(offTop, 8), t+k, func() {
+							if phase != nil {
+								phase(obs.KindDequeAdvance)
+							}
+							fab.PutInt64Async(c, thiefRank, lockLoc, 0, func() {
+								if phase != nil {
+									phase(obs.KindDequeUnlock)
+								}
+								objs = make([]any, k)
+								for j := int64(0); j < k; j++ {
+									s := d.slotIndex(t + j)
+									objs[j] = d.objs[s]
+									d.objs[s] = nil
+								}
+								ok = true
+								d.St.StealsOK++
+								d.St.BatchSteals++
+								d.St.BatchEntries += uint64(k)
+								if tr != nil {
+									tr.Event(obs.Event{
+										T: t0, Dur: fab.Eng.Now() - t0, Rank: thiefRank,
+										Kind: obs.KindDequeSteal, Task: -1, Peer: d.rank,
+										Size: k * int64(d.entrySize), ID: sid,
+									})
+								}
+								c.Complete()
+							})
+						})
+						return
+					}
+					entries[i] = make([]byte, d.entrySize)
+					fab.GetAsync(c, thiefRank, d.loc(d.entryOff(t+i), d.entrySize), entries[i], func() {
+						if phase != nil {
+							phase(obs.KindDequeRead)
+						}
+						readNext(i + 1)
+					})
+				}
+				readNext(0)
+			})
+		})
+	})
+	c.Wait()
+	return entries, objs, ok
 }
 
 func le(b []byte) uint64 {

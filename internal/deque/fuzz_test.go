@@ -9,7 +9,7 @@ import (
 )
 
 // FuzzDequePushPopSteal drives arbitrary interleavings of Push, Pop,
-// PushTop and Steal through the THE protocol in two phases:
+// PushTop, Steal and StealN through the THE protocol in two phases:
 //
 //  1. an exact-model phase — one driver proc interprets the script and
 //     checks every operation's result against a reference slice model
@@ -22,9 +22,13 @@ import (
 // The seed corpus encodes the interleavings the runtime's scheduler
 // actually generates (see the op table below for the byte encoding).
 func FuzzDequePushPopSteal(f *testing.F) {
-	// Op encoding: per byte b, b%4 selects the operation
-	//	0 = Push (bottom), 1 = Pop (bottom), 2 = Steal (top), 3 = PushTop
-	// and b/4 spaces the concurrency phase (virtual-time gap between ops).
+	// Op encoding: per byte b, b%5 selects the operation
+	//	0 = Push (bottom), 1 = Pop (bottom), 2 = Steal (top),
+	//	3 = PushTop, 4 = StealN taking the top half
+	// and b/5 spaces the concurrency phase (virtual-time gap between ops).
+	// Any script containing a StealN op runs the deque in Batch mode, as
+	// internal/core does for the steal-half policies (the owner serializes
+	// pops through the lock; see Deque.Batch).
 	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1})             // serial spawn/pop (no thief traffic)
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}) // deep spawn then unwind (LIFO run)
 	f.Add([]byte{0, 0, 0, 0, 2, 2, 2, 2})             // idle thieves drain a full deque
@@ -33,6 +37,10 @@ func FuzzDequePushPopSteal(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 0, 2, 1})                   // THE last-entry race, both orders
 	f.Add([]byte{0, 3, 1, 2, 0, 3, 2, 1})             // Yield: PushTop feeds thieves first
 	f.Add([]byte{0, 64, 65, 128, 2, 192, 1, 6})       // wide time gaps between ops
+	f.Add([]byte{0, 0, 0, 0, 4, 4, 4})                // batch halves drain the deque
+	f.Add([]byte{0, 0, 0, 0, 0, 4, 1, 4, 2, 1})       // batch thief racing the working owner
+	f.Add([]byte{4, 4, 0, 4, 1})                      // failed batch steals on an empty deque
+	f.Add([]byte{0, 4, 0, 0, 3, 4, 2, 1, 4})          // batches interleaved with PushTop/Steal
 	f.Fuzz(func(t *testing.T, script []byte) {
 		if len(script) > 200 {
 			script = script[:200]
@@ -44,21 +52,32 @@ func FuzzDequePushPopSteal(f *testing.F) {
 
 const fuzzCap = 64 // small capacity so ring wrap-around is exercised
 
-func fuzzSetup() (*sim.Engine, *Deque) {
+func fuzzSetup(script []byte) (*sim.Engine, *Deque) {
 	eng := sim.NewEngine()
 	fab := rdma.NewFabric(eng, topo.Uniform(1000), 3, 1<<16)
-	return eng, New(fab, 0, fuzzCap, es)
+	d := New(fab, 0, fuzzCap, es)
+	// StealN is only conservation-safe when the owner serializes pops
+	// through the lock, exactly as core.New couples Batch to StealHalf.
+	for _, op := range script {
+		if op%5 == 4 {
+			d.Batch = true
+		}
+	}
+	return eng, d
 }
+
+// stealHalf mirrors the core scheduler's steal-half amount policy.
+func stealHalf(avail int64) int64 { return (avail + 1) / 2 }
 
 // fuzzExactModel interprets the script on a single proc and compares every
 // result against the reference slice model.
 func fuzzExactModel(t *testing.T, script []byte) {
-	eng, d := fuzzSetup()
+	eng, d := fuzzSetup(script)
 	var model []uint64 // model[0] is the top (steal end), model[len-1] the bottom
 	next := uint64(0)
 	eng.Go("driver", func(p *sim.Proc) {
 		for i, op := range script {
-			switch op % 4 {
+			switch op % 5 {
 			case 0: // Push at the bottom
 				if len(model) >= fuzzCap {
 					continue // would overflow by design; overflow panics are tested elsewhere
@@ -97,6 +116,25 @@ func fuzzExactModel(t *testing.T, script []byte) {
 				next++
 				d.PushTop(p, mk(next), nil)
 				model = append([]uint64{next}, model...)
+			case 4: // StealN: take the top half in one locked chain
+				entries, _, ok := d.StealN(p, 1, stealHalf)
+				if ok != (len(model) > 0) {
+					t.Fatalf("op %d: StealN ok=%v with model size %d", i, ok, len(model))
+				}
+				if ok {
+					k := (len(model) + 1) / 2
+					if len(entries) != k {
+						t.Fatalf("op %d: StealN took %d entries, model says half = %d of %d",
+							i, len(entries), k, len(model))
+					}
+					for idx, e := range entries {
+						if rd(e) != model[idx] {
+							t.Fatalf("op %d: StealN entry %d = %d, model says %d (oldest-first order)",
+								i, idx, rd(e), model[idx])
+						}
+					}
+					model = model[k:]
+				}
 			}
 			if d.Len() != len(model) {
 				t.Fatalf("op %d: Len() = %d, model size %d", i, d.Len(), len(model))
@@ -108,22 +146,25 @@ func fuzzExactModel(t *testing.T, script []byte) {
 
 // fuzzConcurrent replays the script's owner ops against two concurrently
 // stealing thieves and checks conservation: every pushed value is consumed
-// exactly once (by owner or thief) or still queued at the end.
+// exactly once (by owner or thief) or still queued at the end. When the
+// script contains StealN ops, thief 1 steals half-batches instead of single
+// entries (and the deque runs in Batch mode) — the concurrent form of the
+// steal-half policy.
 func fuzzConcurrent(t *testing.T, script []byte) {
-	eng, d := fuzzSetup()
+	eng, d := fuzzSetup(script)
 	consumed := make(map[uint64]int)
 	pushed := 0
 	eng.Go("owner", func(p *sim.Proc) {
 		v := uint64(0)
 		for _, op := range script {
-			switch op % 4 {
+			switch op % 5 {
 			case 0, 3:
 				if d.Len() >= fuzzCap-1 {
 					continue
 				}
 				v++
 				pushed++
-				if op%4 == 0 {
+				if op%5 == 0 {
 					d.Push(p, mk(v), nil)
 				} else {
 					d.PushTop(p, mk(v), nil)
@@ -133,14 +174,24 @@ func fuzzConcurrent(t *testing.T, script []byte) {
 					consumed[rd(e)]++
 				}
 			}
-			p.Sleep(sim.Time(op/4) * 25)
+			p.Sleep(sim.Time(op/5) * 25)
 		}
 	})
 	for r := 1; r <= 2; r++ {
+		r := r
 		gap := sim.Time(300 + 431*r)
 		eng.GoAfter(sim.Time(r), "thief", func(p *sim.Proc) {
 			for range script {
 				p.Sleep(gap)
+				if r == 1 && d.Batch {
+					entries, _, ok := d.StealN(p, r, stealHalf)
+					if ok {
+						for _, e := range entries {
+							consumed[rd(e)]++
+						}
+					}
+					continue
+				}
 				if e, _, ok := d.Steal(p, r); ok {
 					consumed[rd(e)]++
 				}

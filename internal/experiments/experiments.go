@@ -111,6 +111,12 @@ type Options struct {
 	// every value; 0 or 1 keeps the classic single-heap engine.
 	Shards int
 
+	// Steal names the steal policy (core.ParseStealPolicy) applied to every
+	// core runtime the experiment builds. "" or "uniform" is the paper's
+	// policy and leaves output byte-identical to the pre-policy runtime.
+	// Experiments with their own policy axis (stealzoo) ignore it.
+	Steal string
+
 	// obsClaimed marks an Options copy whose job claimed Obs at
 	// grid-construction time (see utsJob).
 	obsClaimed bool
@@ -129,6 +135,10 @@ func (o *Options) defaults(workers int) {
 }
 
 func runCfg(o Options, v Variant) core.Config {
+	steal, err := core.ParseStealPolicy(o.Steal)
+	if err != nil {
+		panic(err)
+	}
 	return core.Config{
 		Machine:    MachineByName(o.Machine),
 		Workers:    o.Workers,
@@ -137,6 +147,7 @@ func runCfg(o Options, v Variant) core.Config {
 		Seed:       o.Seed,
 		Perturb:    o.Perturb,
 		Shards:     o.Shards,
+		Steal:      steal,
 		MaxTime:    1800 * sim.Second,
 	}
 }

@@ -537,3 +537,87 @@ func dominantShare(b ServeReqBand) float64 {
 	}
 	return float64(v) / float64(b.Sojourn)
 }
+
+// ---------------------------------------------------------------------------
+// Steal-policy zoo
+// ---------------------------------------------------------------------------
+
+// StealZooOut renders steal-policy sweep rows.
+type StealZooOut []StealZooRow
+
+func (r StealZooOut) machLabel() string {
+	label := r[0].Machine
+	for _, row := range r {
+		if row.Machine != label {
+			return "all"
+		}
+	}
+	return label
+}
+
+func (r StealZooOut) Section() string {
+	if len(r) == 0 {
+		return ""
+	}
+	return "stealzoo_" + r.machLabel()
+}
+
+func (r StealZooOut) Rows() any { return []StealZooRow(r) }
+
+func (r StealZooOut) Table(w io.Writer) {
+	if len(r) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== Steal-policy zoo: %s DAG slowdown vs uniform stealing (%s) ==\n",
+		r[0].Shape, r.machLabel())
+	tw := NewTW(w)
+	fmt.Fprintln(tw, "machine\tpolicy\tscenario\tlevel\texec\tslowdown\tsteals\tfails\tmigr\tsurplus")
+	for _, row := range r {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%g\t%v\t%.3f\t%d\t%d\t%d\t%d\n",
+			row.Machine, row.Policy, row.Scenario, row.Level, row.ExecTime,
+			row.Slowdown, row.StealsOK, row.StealsFail, row.Migrations, row.Surplus)
+	}
+	tw.Flush()
+}
+
+func (r StealZooOut) Series() []Series {
+	if len(r) == 0 {
+		return nil
+	}
+	s := Series{Name: r.Section(), Header: []string{
+		"machine", "policy", "shape", "scenario", "level", "checksum",
+		"exec_s", "slowdown", "steals_ok", "steals_fail", "migrations", "surplus"}}
+	for _, row := range r {
+		s.Cells = append(s.Cells, []string{
+			row.Machine, row.Policy, row.Shape, row.Scenario,
+			fmt.Sprintf("%g", row.Level),
+			fmt.Sprint(row.Checksum),
+			fmt.Sprintf("%.6f", row.ExecTime.Seconds()),
+			fmt.Sprintf("%.4f", row.Slowdown),
+			fmt.Sprint(row.StealsOK), fmt.Sprint(row.StealsFail),
+			fmt.Sprint(row.Migrations), fmt.Sprint(row.Surplus)})
+	}
+	return []Series{s}
+}
+
+// Summary reports the best (lowest) slowdown any non-uniform policy reached
+// under perturbation, and the worst overall.
+func (r StealZooOut) Summary() map[string]float64 {
+	if len(r) == 0 {
+		return nil
+	}
+	best, worst := 0.0, 0.0
+	for _, row := range r {
+		if row.Slowdown == 0 {
+			continue
+		}
+		if row.Policy != "uniform" && row.Scenario != "baseline" &&
+			(best == 0 || row.Slowdown < best) {
+			best = row.Slowdown
+		}
+		if row.Slowdown > worst {
+			worst = row.Slowdown
+		}
+	}
+	return map[string]float64{"best_policy_slowdown": best, "max_slowdown": worst}
+}

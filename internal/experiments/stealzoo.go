@@ -1,0 +1,158 @@
+// Steal-policy zoo: a fig8-style comparison of victim-selection and
+// steal-amount policies on a task-graph (dataflow) workload, across
+// machines and perturbation scenarios. The paper evaluates one policy
+// (uniform random victims, steal-one); "Distributed Work Stealing in a
+// Task-Based Dataflow Runtime" and "Work Stealing Simulator" (PAPERS.md)
+// study exactly these axes — this sweep reproduces that study shape on our
+// runtime. Every cell runs the same seeded DAG, so the checksum column
+// doubles as a correctness oracle: all rows of a sweep must agree.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"contsteal/internal/core"
+	"contsteal/internal/remobj"
+	"contsteal/internal/sim"
+	"contsteal/internal/topo"
+	"contsteal/internal/workload"
+)
+
+// StealZooRow is one point of the steal-policy sweep: one policy on one
+// machine under one perturbation scenario.
+type StealZooRow struct {
+	Machine  string
+	Policy   string // steal policy name (core.StealPolicyNames order)
+	Shape    string // dag workload shape
+	Scenario string // baseline / straggler / jitter
+	Level    float64
+	Workers  int
+	Checksum int64 // DAG checksum — identical on every row of the sweep
+	ExecTime sim.Time
+	// Slowdown is ExecTime relative to the uniform (paper) policy under the
+	// same (machine, scenario, level) — the figure of merit: below 1.0 the
+	// policy beats uniform stealing in that weather.
+	Slowdown   float64
+	StealsOK   uint64
+	StealsFail uint64
+	Migrations uint64 // stacks that moved between ranks
+	Surplus    uint64 // entries requeued by steal-half batches
+}
+
+// stealZooScenario is one perturbation setting of the sweep grid.
+type stealZooScenario struct {
+	name  string
+	level float64
+	make  func(seed int64, level float64) *topo.Perturb
+}
+
+// stealZooScenarios returns the scenario axis, baseline first (the Slowdown
+// denominator is per-scenario, but baseline-first keeps TSV ordering
+// readable). Drop scenarios are omitted: the one-sided runtime has no
+// message layer to drop from.
+func stealZooScenarios() []stealZooScenario {
+	return []stealZooScenario{
+		{name: "baseline", level: 0, make: func(int64, float64) *topo.Perturb { return nil }},
+		{name: "straggler", level: 0.2, make: func(seed int64, lvl float64) *topo.Perturb {
+			return &topo.Perturb{Seed: seed, StragglerFrac: lvl, StragglerFactor: 3}
+		}},
+		{name: "jitter", level: 1.0, make: func(seed int64, lvl float64) *topo.Perturb {
+			return &topo.Perturb{Seed: seed, LatencyJitter: lvl}
+		}},
+	}
+}
+
+// StealZoo sweeps steal policy × machine × perturbation scenario on the dag
+// workload (shape with N×N-scale grid; see workload.DAGParams). If
+// o.Machine is set the sweep is restricted to that machine; otherwise it
+// covers both ITO-A and WISTERIA-O. Each grid point builds its own Machine
+// (own perturbation RNG streams), so the grid runs on the shared pool with
+// byte-identical output at any -parallel width. o.Steal is ignored: the
+// policy axis owns it here.
+func StealZoo(o Options, shape string, n int) []StealZooRow {
+	machines := []string{"itoa", "wisteria"}
+	if o.Machine != "" {
+		machines = []string{o.Machine}
+	}
+	// Multi-node worker counts by default (two ITO-A nodes): the hier and
+	// locality policies only differ from uniform when topology and placement
+	// matter.
+	o.defaults(72)
+	d := workload.DAGParams{Shape: shape, N: n, Steps: n, Seed: o.Seed}
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+
+	var jobs []Job
+	for _, machine := range machines {
+		for _, policy := range core.StealPolicyNames() {
+			for _, sc := range stealZooScenarios() {
+				oj := o
+				oj.Machine = machine
+				oj.Perturb = sc.make(o.Seed, sc.level)
+				policy, sc := policy, sc
+				jobs = append(jobs, Job{
+					Coord: Coord{
+						Experiment: "stealzoo", Tree: shape, System: policy,
+						Variant: fmt.Sprintf("%s@%g", sc.name, sc.level),
+						Workers: oj.Workers, Seed: oj.Seed,
+					},
+					Run: func() any { return stealZooOnce(oj, policy, d, sc) },
+				})
+			}
+		}
+	}
+	rows := collect[StealZooRow](RunJobs(o.Parallel, jobs))
+
+	// Slowdowns need the full grid: each row divides by the uniform-policy
+	// row of its own (machine, scenario, level) cell.
+	base := make(map[[3]string]sim.Time)
+	for _, r := range rows {
+		if r.Policy == "uniform" {
+			base[[3]string{r.Machine, r.Scenario, fmt.Sprint(r.Level)}] = r.ExecTime
+		}
+	}
+	for i := range rows {
+		if b := base[[3]string{rows[i].Machine, rows[i].Scenario, fmt.Sprint(rows[i].Level)}]; b > 0 {
+			rows[i].Slowdown = float64(rows[i].ExecTime) / float64(b)
+		}
+	}
+	return rows
+}
+
+// stealZooOnce runs one grid point on the continuation-stealing greedy-join
+// runtime (the paper's system). oj.Perturb already carries the scenario.
+func stealZooOnce(oj Options, policy string, d workload.DAGParams, sc stealZooScenario) StealZooRow {
+	steal, err := core.ParseStealPolicy(policy)
+	if err != nil {
+		panic(err)
+	}
+	cfg := runCfg(oj, Variant{"greedy", core.ContGreedy, remobj.LocalCollection})
+	cfg.Steal = steal
+	if oj.DequeCap > 0 {
+		cfg.DequeCap = oj.DequeCap
+	}
+	rt := core.New(cfg)
+	start := time.Now()
+	ret, st := rt.Run(d.Task())
+	row := StealZooRow{
+		Machine: oj.Machine, Policy: policy, Shape: d.Shape,
+		Scenario: sc.name, Level: sc.level, Workers: oj.Workers,
+		Checksum: core.RetInt64(ret), ExecTime: st.ExecTime,
+		StealsOK: st.Work.StealsOK, StealsFail: st.Work.StealsFail,
+		Migrations: st.Stack.MigrationsIn,
+		Surplus:    st.Work.SurplusStolen,
+	}
+	if want := d.SerialChecksum(); row.Checksum != want {
+		panic(fmt.Sprintf("experiments: stealzoo %s/%s/%s checksum %d != oracle %d",
+			oj.Machine, policy, sc.name, row.Checksum, want))
+	}
+	reportEngine(Coord{
+		Experiment: "stealzoo", Tree: d.Shape, System: policy,
+		Variant: fmt.Sprintf("%s@%g", sc.name, sc.level),
+		Workers: oj.Workers, Seed: oj.Seed,
+	}, st, time.Since(start))
+	return row
+}

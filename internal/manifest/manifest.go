@@ -52,6 +52,8 @@ type Params struct {
 	Admits      []string  `json:"admits,omitempty"`    // serve: always/token
 	HorizonUs   float64   `json:"horizon_us,omitempty"`
 	NoReqTrace  bool      `json:"no_req_trace,omitempty"` // serve: skip request tracing/attribution
+	Policy      string    `json:"steal_policy,omitempty"` // core.ParseStealPolicy name ("" = paper's uniform steal-one)
+	Shape       string    `json:"shape,omitempty"`        // dag workload shape (stealzoo): wavefront / stencil
 }
 
 // Merge returns p with every set (non-zero) field of o overriding. List
@@ -119,6 +121,12 @@ func (p Params) Merge(o Params) Params {
 	}
 	if o.NoReqTrace {
 		p.NoReqTrace = true
+	}
+	if o.Policy != "" {
+		p.Policy = o.Policy
+	}
+	if o.Shape != "" {
+		p.Shape = o.Shape
 	}
 	return p
 }

@@ -105,11 +105,11 @@ func TestParseRejects(t *testing.T) {
 }
 
 // TestRegistryCompleteness pins the registered experiment set: the nine
-// paper experiments plus the host-side engine benchmark in canonical order,
-// each runnable, and every committed golden fixture owned by exactly one
-// spec.
+// paper experiments plus the host-side engine benchmark and the
+// steal-policy zoo in canonical order, each runnable, and every committed
+// golden fixture owned by exactly one spec.
 func TestRegistryCompleteness(t *testing.T) {
-	want := []string{"fig6", "table2", "fig7", "fig8", "fig9", "table3", "fig12", "resilience", "enginebench", "serve"}
+	want := []string{"fig6", "table2", "fig7", "fig8", "fig9", "table3", "fig12", "resilience", "enginebench", "stealzoo", "serve"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d specs %v, want %d %v", len(got), got, len(want), want)

@@ -1,4 +1,4 @@
-// The ten experiment specs: the registry entries cmd/repro's subcommand
+// The eleven experiment specs: the registry entries cmd/repro's subcommand
 // dispatch, `repro all`, and the manifest Runner all execute through. Each
 // spec's Run converts the uniform Params bag into the experiment package's
 // entrypoint call and wraps the rows in their Rendering.
@@ -9,18 +9,26 @@ import (
 	"fmt"
 	"strings"
 
+	"contsteal/internal/core"
 	"contsteal/internal/experiments"
 	"contsteal/internal/sim"
 	"contsteal/internal/topo"
+	"contsteal/internal/workload"
 )
 
 // optionsFrom maps resolved Params plus invocation knobs onto
-// experiments.Options. Entry-level Shards/Perturb win over Exec's.
+// experiments.Options. Entry-level Shards/Perturb win over Exec's. The
+// steal_policy param reaches every experiment's core runtimes through
+// Options.Steal (stealzoo alone ignores it — its policy axis owns it).
 func optionsFrom(p Params, x Exec) (experiments.Options, error) {
 	o := experiments.Options{
 		Machine: p.Machine, Workers: p.Workers, Scale: p.Scale,
 		Seed: p.Seed, WorkScale: p.WorkScale, DequeCap: p.DequeCap,
+		Steal:    p.Policy,
 		Parallel: x.Parallel, Shards: x.Shards, Perturb: x.Perturb, Obs: x.Obs,
+	}
+	if _, err := core.ParseStealPolicy(p.Policy); err != nil {
+		return o, err
 	}
 	if p.Shards != 0 {
 		o.Shards = p.Shards
@@ -215,6 +223,24 @@ func init() {
 				return nil, err
 			}
 			return experiments.EngineBenchOut(experiments.EngineBench(o)), nil
+		},
+	})
+	Register(Spec{
+		// stealzoo sweeps the steal-policy axis itself (all six policies ×
+		// perturbation scenarios on the dag workload), so the steal_policy
+		// param does not apply; the shape/n params pick the task graph.
+		Name:   "stealzoo",
+		Params: Params{Shape: "wavefront"},
+		Golden: []string{"stealzoo_itoa.tsv"},
+		Run: func(p Params, x Exec) (experiments.Rendering, error) {
+			o, err := optionsFrom(p, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkName("shape", p.Shape, true, workload.DAGShapes()...); err != nil {
+				return nil, err
+			}
+			return experiments.StealZooOut(experiments.StealZoo(o, p.Shape, p.N)), nil
 		},
 	})
 	Register(Spec{

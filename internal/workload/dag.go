@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"fmt"
+
+	"contsteal/internal/core"
+	"contsteal/internal/sim"
+)
+
+// Task-graph (dataflow) workload: seeded future DAGs, promoting the
+// examples/wavefront dependency pattern into a first-class experiment
+// workload. Two shapes:
+//
+//   - "wavefront": an N×N grid where cell (i,j) consumes its top and left
+//     neighbours — the dependency pattern of the paper's LCS benchmark
+//     (Fig. 10), expressed directly with multi-consumer futures. The
+//     checksum is the bottom-right cell's value.
+//   - "stencil": a Steps×N iterated 1-D stencil where cell (t,i) consumes
+//     (t-1, i-1..i+1) clamped at the boundaries — the classic 3-point
+//     stencil over time, each producer feeding up to three consumers. The
+//     checksum sums the final row.
+//
+// Per-cell work and value constants come from a splitmix64 hash of
+// (seed, i, j) — a pure function of the cell's coordinates, not an RNG
+// sequence — so every execution order (any runtime policy, any steal
+// policy, the serial oracle) sees identical cells, and checksums are
+// comparable across all of them.
+
+// dagPrime is the checksum modulus (same prime as examples/wavefront).
+const dagPrime = 1000003
+
+// DAGShapes lists the valid DAGParams.Shape values.
+func DAGShapes() []string { return []string{"wavefront", "stencil"} }
+
+// DAGParams parameterizes one dag workload instance. The zero value is
+// completed by defaults(): shape wavefront, N 12, Steps 8, work uniform in
+// [5µs, 30µs].
+type DAGParams struct {
+	// Shape is "wavefront" (N×N grid) or "stencil" (Steps rows of N).
+	Shape string
+	// N is the grid width: wavefront has N×N cells, stencil N per row.
+	N int
+	// Steps is the number of stencil iterations (rows beyond the seeded
+	// initial row); ignored by wavefront.
+	Steps int
+	// Seed drives the per-cell work durations and value constants.
+	Seed int64
+	// MinWork/MaxWork bound the per-cell compute duration; each cell draws
+	// uniformly from [MinWork, MaxWork] by hash.
+	MinWork, MaxWork sim.Time
+	// Nest is the depth of the binary fork-join tree each cell burns its
+	// work through (2^Nest leaf chunks): DAG nodes are themselves small
+	// parallel kernels. Nesting is what gives multi-entry steals something
+	// to take — a flat Compute call keeps every continuation deque at depth
+	// ≤ 1, making steal-half indistinguishable from steal-one. The zero
+	// value defaults to 3; a negative value disables nesting.
+	Nest int
+}
+
+func (d *DAGParams) defaults() {
+	if d.Shape == "" {
+		d.Shape = "wavefront"
+	}
+	if d.N <= 0 {
+		d.N = 12
+	}
+	if d.Steps <= 0 {
+		d.Steps = 8
+	}
+	if d.MinWork <= 0 {
+		d.MinWork = 5 * sim.Microsecond
+	}
+	if d.MaxWork < d.MinWork {
+		d.MaxWork = 30 * sim.Microsecond
+		if d.MaxWork < d.MinWork {
+			d.MaxWork = d.MinWork
+		}
+	}
+	if d.Nest == 0 {
+		d.Nest = 3
+	}
+	if d.Nest < 0 {
+		d.Nest = 0
+	}
+}
+
+// Validate reports whether the shape name is known.
+func (d DAGParams) Validate() error {
+	switch d.Shape {
+	case "", "wavefront", "stencil":
+		return nil
+	}
+	return fmt.Errorf("workload: unknown dag shape %q (want wavefront or stencil)", d.Shape)
+}
+
+// Cells returns the number of future tasks the DAG spawns.
+func (d DAGParams) Cells() int {
+	d.defaults()
+	if d.Shape == "stencil" {
+		return (d.Steps + 1) * d.N
+	}
+	return d.N * d.N
+}
+
+// T1 returns the total per-cell work of the DAG — the serial compute time
+// excluding runtime overheads, for efficiency normalization.
+func (d DAGParams) T1() sim.Time {
+	d.defaults()
+	var total sim.Time
+	each := func(i, j int) {
+		w, _ := d.cell(i, j)
+		total += w
+	}
+	d.forCells(each)
+	return total
+}
+
+// forCells visits every cell coordinate of the shape.
+func (d DAGParams) forCells(f func(i, j int)) {
+	if d.Shape == "stencil" {
+		for t := 0; t <= d.Steps; t++ {
+			for i := 0; i < d.N; i++ {
+				f(t, i)
+			}
+		}
+		return
+	}
+	for i := 0; i < d.N; i++ {
+		for j := 0; j < d.N; j++ {
+			f(i, j)
+		}
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// cell returns the seeded work duration and value constant of cell (i,j) —
+// a pure function of (Seed, i, j).
+func (d DAGParams) cell(i, j int) (work sim.Time, val int64) {
+	h := splitmix64(uint64(d.Seed) ^ splitmix64(uint64(i)<<32|uint64(uint32(j))))
+	span := uint64(d.MaxWork-d.MinWork) + 1
+	work = d.MinWork + sim.Time(h%span)
+	val = int64((h >> 16) % dagPrime)
+	return work, val
+}
+
+// cellCompute burns a cell's work as a binary fork-join tree of the given
+// depth, halving the budget at each level. The chunks sum exactly to work,
+// so T1 is independent of nesting; what nesting adds is continuation-deque
+// depth during cell execution (spawned halves stack up like fib), which is
+// where batch steals find their entries.
+func cellCompute(c *core.Ctx, work sim.Time, depth int) {
+	if depth <= 0 || work < 2 {
+		c.Compute(work)
+		return
+	}
+	half := work / 2
+	h := c.Spawn(func(c *core.Ctx) []byte {
+		cellCompute(c, work-half, depth-1)
+		return core.Int64Ret(0)
+	})
+	cellCompute(c, half, depth-1)
+	h.JoinInt64(c)
+}
+
+// Task returns the root TaskFunc building and joining the whole DAG. The
+// root's return value is the checksum, equal to SerialChecksum() under
+// every policy.
+func (d DAGParams) Task() core.TaskFunc {
+	d.defaults()
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	if d.Shape == "stencil" {
+		return d.stencilTask()
+	}
+	return d.wavefrontTask()
+}
+
+// wavefrontTask spawns the N×N grid; cell (i,j) consumes top and left and is
+// consumed by bottom and right (the corner by the root).
+func (d DAGParams) wavefrontTask() core.TaskFunc {
+	n := d.N
+	return func(c *core.Ctx) []byte {
+		cells := make([][]core.Handle, n)
+		for i := range cells {
+			cells[i] = make([]core.Handle, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				i, j := i, j
+				var top, left core.Handle
+				if i > 0 {
+					top = cells[i-1][j]
+				}
+				if j > 0 {
+					left = cells[i][j-1]
+				}
+				consumers := 0
+				if i < n-1 {
+					consumers++
+				}
+				if j < n-1 {
+					consumers++
+				}
+				if consumers == 0 {
+					consumers = 1 // bottom-right: joined by the root
+				}
+				cells[i][j] = c.SpawnFuture(consumers, func(c *core.Ctx) []byte {
+					var t, l int64
+					if top.Valid() {
+						t = top.JoinInt64(c)
+					}
+					if left.Valid() {
+						l = left.JoinInt64(c)
+					}
+					work, val := d.cell(i, j)
+					cellCompute(c, work, d.Nest)
+					return core.Int64Ret((t + l + val) % dagPrime)
+				})
+			}
+		}
+		return core.Int64Ret(cells[n-1][n-1].JoinInt64(c))
+	}
+}
+
+// stencilConsumers returns how many row-(t+1) cells consume cell (t,i):
+// the clamped 3-point neighbourhood, or 1 (the root) for the final row.
+func (d DAGParams) stencilConsumers(t, i int) int {
+	if t == d.Steps {
+		return 1
+	}
+	lo, hi := i-1, i+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > d.N-1 {
+		hi = d.N - 1
+	}
+	return hi - lo + 1
+}
+
+// stencilTask spawns Steps+1 rows of N cells; cell (t,i) consumes the
+// clamped (t-1, i-1..i+1) and the root sums the final row.
+func (d DAGParams) stencilTask() core.TaskFunc {
+	n, steps := d.N, d.Steps
+	return func(c *core.Ctx) []byte {
+		prev := make([]core.Handle, n)
+		row := make([]core.Handle, n)
+		for t := 0; t <= steps; t++ {
+			for i := 0; i < n; i++ {
+				t, i := t, i
+				var deps []core.Handle
+				if t > 0 {
+					lo, hi := i-1, i+1
+					if lo < 0 {
+						lo = 0
+					}
+					if hi > n-1 {
+						hi = n - 1
+					}
+					deps = append(deps, prev[lo:hi+1]...)
+				}
+				row[i] = c.SpawnFuture(d.stencilConsumers(t, i), func(c *core.Ctx) []byte {
+					var sum int64
+					for _, h := range deps {
+						sum += h.JoinInt64(c)
+					}
+					work, val := d.cell(t, i)
+					cellCompute(c, work, d.Nest)
+					return core.Int64Ret((sum + val) % dagPrime)
+				})
+			}
+			prev, row = row, prev
+		}
+		var sum int64
+		for i := 0; i < n; i++ {
+			sum = (sum + prev[i].JoinInt64(c)) % dagPrime
+		}
+		return core.Int64Ret(sum)
+	}
+}
+
+// SerialChecksum computes the DAG's checksum single-threadedly in
+// topological order — the oracle every runtime × steal-policy execution
+// must match.
+func (d DAGParams) SerialChecksum() int64 {
+	d.defaults()
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	if d.Shape == "stencil" {
+		prev := make([]int64, d.N)
+		row := make([]int64, d.N)
+		for t := 0; t <= d.Steps; t++ {
+			for i := 0; i < d.N; i++ {
+				var sum int64
+				if t > 0 {
+					lo, hi := i-1, i+1
+					if lo < 0 {
+						lo = 0
+					}
+					if hi > d.N-1 {
+						hi = d.N - 1
+					}
+					for j := lo; j <= hi; j++ {
+						sum += prev[j]
+					}
+				}
+				_, val := d.cell(t, i)
+				row[i] = (sum + val) % dagPrime
+			}
+			prev, row = row, prev
+		}
+		var sum int64
+		for i := 0; i < d.N; i++ {
+			sum = (sum + prev[i]) % dagPrime
+		}
+		return sum
+	}
+	v := make([][]int64, d.N)
+	for i := range v {
+		v[i] = make([]int64, d.N)
+	}
+	for i := 0; i < d.N; i++ {
+		for j := 0; j < d.N; j++ {
+			var t, l int64
+			if i > 0 {
+				t = v[i-1][j]
+			}
+			if j > 0 {
+				l = v[i][j-1]
+			}
+			_, val := d.cell(i, j)
+			v[i][j] = (t + l + val) % dagPrime
+		}
+	}
+	return v[d.N-1][d.N-1]
+}

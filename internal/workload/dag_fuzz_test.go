@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+
+	"contsteal/internal/core"
+)
+
+// FuzzDAGOracle: for arbitrary seeds and shapes, every runtime policy ×
+// steal policy executes the seeded task graph to the same checksum as the
+// single-threaded topological-order oracle — no dependency is ever violated
+// and no cell lost or duplicated, no matter how tasks migrate. Mirrors the
+// serve-oracle pattern (experiments.FuzzServeArrivals).
+func FuzzDAGOracle(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(6), uint8(4), uint8(4))
+	f.Add(int64(2), uint8(1), uint8(5), uint8(3), uint8(2))
+	f.Add(int64(7), uint8(0), uint8(8), uint8(5), uint8(7))
+	f.Add(int64(11), uint8(1), uint8(3), uint8(6), uint8(1))
+	f.Add(int64(42), uint8(0), uint8(4), uint8(2), uint8(6))
+	f.Add(int64(-3), uint8(1), uint8(7), uint8(4), uint8(3))
+	f.Add(int64(1<<40), uint8(0), uint8(5), uint8(5), uint8(5))
+	f.Add(int64(987654321), uint8(1), uint8(6), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, shapeSel, n, steps, workers uint8) {
+		d := DAGParams{
+			Shape: DAGShapes()[int(shapeSel)%len(DAGShapes())],
+			N:     2 + int(n%7),
+			Steps: 1 + int(steps%6),
+			Seed:  seed,
+		}
+		want := d.SerialChecksum()
+		w := 2 + int(workers%6)
+		for _, pol := range []core.Policy{core.ContGreedy, core.ContStalling, core.ChildFull, core.ChildRtC} {
+			for _, sp := range core.StealPolicyNames() {
+				steal, err := core.ParseStealPolicy(sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := cfg(pol, w)
+				c.Seed = seed
+				c.Steal = steal
+				rt := core.New(c)
+				ret, _ := rt.Run(d.Task())
+				if got := core.RetInt64(ret); got != want {
+					t.Fatalf("%s/%v/%s on %d workers: checksum %d, want %d (seed %d)",
+						d.Shape, pol, sp, w, got, want, seed)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"contsteal/internal/core"
+	"contsteal/internal/sim"
+)
+
+func TestDAGSerialChecksumDeterministic(t *testing.T) {
+	for _, shape := range DAGShapes() {
+		d := DAGParams{Shape: shape, N: 9, Steps: 5, Seed: 42}
+		a, b := d.SerialChecksum(), d.SerialChecksum()
+		if a != b {
+			t.Errorf("%s: oracle nondeterministic: %d vs %d", shape, a, b)
+		}
+		if a < 0 || a >= dagPrime {
+			t.Errorf("%s: checksum %d out of range [0, %d)", shape, a, dagPrime)
+		}
+		d2 := d
+		d2.Seed = 43
+		if d2.SerialChecksum() == a {
+			t.Errorf("%s: seed change did not move the checksum", shape)
+		}
+	}
+}
+
+func TestDAGValidate(t *testing.T) {
+	if err := (DAGParams{Shape: "wavefront"}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (DAGParams{Shape: "cholesky"}).Validate(); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestDAGT1CountsEveryCell(t *testing.T) {
+	d := DAGParams{Shape: "stencil", N: 4, Steps: 3, Seed: 1,
+		MinWork: 7 * sim.Microsecond, MaxWork: 7 * sim.Microsecond}
+	if got, want := d.T1(), sim.Time(d.Cells())*7*sim.Microsecond; got != want {
+		t.Errorf("T1 = %v, want %v for %d fixed-work cells", got, want, d.Cells())
+	}
+	// Serial execution on one worker takes at least T1.
+	rt := core.New(cfg(core.ContGreedy, 1))
+	_, st := rt.Run(d.Task())
+	if st.ExecTime < d.T1() {
+		t.Errorf("serial exec %v < T1 %v", st.ExecTime, d.T1())
+	}
+}
+
+// TestDAGAllRuntimesMatchOracle is the checksum-equality contract: every
+// runtime policy × steal policy executes the same seeded DAG to the same
+// checksum as the single-threaded topological oracle.
+func TestDAGAllRuntimesMatchOracle(t *testing.T) {
+	for _, shape := range DAGShapes() {
+		d := DAGParams{Shape: shape, N: 8, Steps: 6, Seed: 7}
+		want := d.SerialChecksum()
+		for _, pol := range []core.Policy{core.ContGreedy, core.ContStalling, core.ChildFull, core.ChildRtC} {
+			for _, sp := range core.StealPolicyNames() {
+				steal, err := core.ParseStealPolicy(sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := cfg(pol, 6)
+				c.Steal = steal
+				ret, _ := rtRun(t, c, d)
+				if ret != want {
+					t.Errorf("%s/%v/%s: checksum %d, want %d", shape, pol, sp, ret, want)
+				}
+			}
+		}
+	}
+}
+
+func rtRun(t *testing.T, c core.Config, d DAGParams) (int64, core.RunStats) {
+	t.Helper()
+	rt := core.New(c)
+	ret, st := rt.Run(d.Task())
+	return core.RetInt64(ret), st
+}
+
+// TestDAGParallelSpeedup: the wavefront has bounded parallelism (one
+// antidiagonal), but stencil rows are fully parallel.
+func TestDAGParallelSpeedup(t *testing.T) {
+	d := DAGParams{Shape: "stencil", N: 32, Steps: 8, Seed: 3,
+		MinWork: 20 * sim.Microsecond, MaxWork: 20 * sim.Microsecond}
+	rt := core.New(cfg(core.ContGreedy, 8))
+	_, st := rt.Run(d.Task())
+	// T1 excludes the nested cells' spawn/join overhead, so the bound is
+	// deliberately loose.
+	if eff := st.Efficiency(d.T1()); eff < 0.35 {
+		t.Errorf("stencil efficiency on 8 workers = %.2f, want > 0.35", eff)
+	}
+}
